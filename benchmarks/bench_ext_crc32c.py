@@ -1,0 +1,37 @@
+"""Extension — the CRC32c checksum cost (paper §3.6 / §4 setup item 5).
+
+The paper disabled SCTP's CRC32c in the kernel because TCP offloads its
+checksum to the NIC while CRC32c burned CPU.  Our cost model carries the
+documented per-KiB charge; this bench quantifies what the paper's setup
+decision avoided: ping-pong throughput with the checksum on vs off.
+"""
+
+from repro.bench.harness import scaled
+from repro.core.world import WorldConfig
+from repro.network import CostModel
+from repro.workloads.mpbench import run_pingpong
+
+LIMIT = 20_000_000_000_000
+
+
+def test_crc32c_overhead(once):
+    def experiment():
+        size = 128 * 1024
+        iters = scaled(12, 50)
+        out = {}
+        for label, cm in (("off", CostModel()), ("on", CostModel().with_crc32c())):
+            cfg = WorldConfig(n_procs=2, rpi="sctp", cost_model=cm)
+            out[label] = run_pingpong(
+                "sctp", size, iterations=iters, seed=1, config=cfg, limit_ns=LIMIT
+            )
+        return out
+
+    results = once(experiment)
+    off = results["off"].throughput_bytes_per_s
+    on = results["on"].throughput_bytes_per_s
+    print()
+    print("== Extension: SCTP CRC32c checksum cost (128 KiB ping-pong) ==")
+    print(f"  crc32c off: {off / 1e6:7.2f} MB/s   (the paper's configuration)")
+    print(f"  crc32c on : {on / 1e6:7.2f} MB/s   ({1 - on / off:.0%} slower)")
+    assert on < off, "the checksum must cost throughput"
+    assert on > 0.5 * off, "but not absurdly much"

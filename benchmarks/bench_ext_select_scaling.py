@@ -1,0 +1,49 @@
+"""Extension — select() cost growth with process count (paper §3.3).
+
+The paper argues the TCP RPI's socket-per-peer + ``select()`` design
+scales poorly: select's cost grows linearly with descriptor count [20],
+and *every* descriptor is hot during collectives.  The SCTP RPI's single
+one-to-many socket avoids the call entirely.  This bench measures the
+middleware CPU burned per rank during an allreduce+alltoall workload as
+the job grows.
+"""
+
+from repro.bench.harness import scaled
+from repro.core.world import World, WorldConfig
+
+LIMIT = 20_000_000_000_000
+
+
+async def _collective_storm(comm):
+    for _ in range(8):
+        await comm.allreduce(comm.rank)
+        await comm.alltoall([comm.rank] * comm.size)
+    await comm.barrier()
+    return comm.process.host.cpu.total_busy_ns
+
+
+def test_select_cost_scales_with_job_size(once):
+    def experiment():
+        out = {}
+        sizes = (4, 8, 12) if not scaled(0, 1) else (4, 8, 16)
+        for n in sizes:
+            for rpi in ("tcp", "sctp"):
+                world = World(WorldConfig(n_procs=n, rpi=rpi, seed=1))
+                result = world.run(_collective_storm, limit_ns=LIMIT)
+                selects = 0
+                if rpi == "tcp":
+                    selects = sum(p.rpi.selector.calls for p in world.processes)
+                out[(n, rpi)] = (result.duration_ns, selects)
+        return out
+
+    results = once(experiment)
+    print()
+    print("== Extension: select() scalability (collective storm) ==")
+    print(f"{'np':>4} {'tcp ms':>9} {'sctp ms':>9} {'tcp select() calls':>19}")
+    sizes = sorted({n for n, _ in results})
+    for n in sizes:
+        tcp_ns, selects = results[(n, "tcp")]
+        sctp_ns, _ = results[(n, "sctp")]
+        print(f"{n:>4} {tcp_ns / 1e6:>9.2f} {sctp_ns / 1e6:>9.2f} {selects:>19}")
+    # select volume must grow with job size; SCTP never selects at all
+    assert results[(sizes[-1], "tcp")][1] > results[(sizes[0], "tcp")][1]

@@ -1,0 +1,20 @@
+"""§3.5.1 extension — multihoming failover.
+
+Not a paper figure (their comparison runs were single-homed, §4 item 4),
+but the paper's §3.5.1 argues failover is a key SCTP advantage for MPI:
+we sever the primary path mid-run and the application must finish over
+the alternate, with retransmissions redirected (§4.1.1 last bullet).
+"""
+
+from repro.bench import format_table, multihoming_failover
+
+
+def test_multihoming_failover(once):
+    rows = once(multihoming_failover)
+    print()
+    print(format_table("Multihoming: primary-path failure mid-run", rows))
+    row = rows[0]
+    assert row.measured["completed"], "the MPI program must survive path failure"
+    assert row.measured["failover_retransmits"] > 0, (
+        "retransmissions must have been redirected to the alternate path"
+    )

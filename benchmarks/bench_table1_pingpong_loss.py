@@ -1,0 +1,26 @@
+"""Table 1 — ping-pong under 1% / 2% loss, 30 KiB and 300 KiB messages.
+
+Paper shape: SCTP beats TCP at every loss/size cell (28x/43x at 30 KiB,
+~3.2x at 300 KiB).  Our reproduction preserves the *direction* where the
+mechanism survives faithful stack modelling: at 2% loss SCTP wins both
+sizes (multi-loss windows repaired in one SACK round vs NewReno's
+hole-per-RTT); at 1% the protocols are near parity because both repair
+isolated mid-burst losses in one RTT and pay the same 1 s minimum RTO on
+tail drops.  The paper's far larger factors are discussed (and not
+blindly asserted) in EXPERIMENTS.md.
+"""
+
+from repro.bench import format_table, table1_pingpong_loss
+
+
+def test_table1_pingpong_loss(once):
+    rows = once(table1_pingpong_loss)
+    print()
+    print(format_table("Table 1: ping-pong throughput under loss", rows))
+    by_cell = {r.label: r.measured["sctp/tcp"] for r in rows}
+    # at 2% loss SCTP must win both message sizes (paper's direction)
+    assert by_cell["pingpong 30K loss=2%"] > 1.0
+    assert by_cell["pingpong 300K loss=2%"] > 1.0
+    # overall, SCTP comes out ahead under loss
+    mean_ratio = sum(by_cell.values()) / len(by_cell)
+    assert mean_ratio > 1.1, f"SCTP should win on average under loss: {by_cell}"

@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every bench runs its whole experiment once inside ``benchmark.pedantic``
+(the interesting numbers are *virtual-time* metrics printed as
+paper-vs-measured tables; pytest-benchmark's wall-clock numbers just
+document simulation cost).  ``REPRO_FULL=1`` switches to paper-scale
+parameters.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    box = {}
+
+    def call():
+        box["result"] = fn(*args, **kwargs)
+
+    benchmark.pedantic(call, rounds=1, iterations=1, warmup_rounds=0)
+    return box["result"]
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Multihoming failover (paper §3.5.1).
+
+Every node gets two NICs on two independent switched subnets.  Mid-run
+we power off the primary subnet's switch; SCTP's path supervision marks
+the primary INACTIVE, redirects retransmissions to the alternate address
+(§4.1.1, last bullet), and the MPI program finishes without the
+application noticing anything but a hiccup.  TCP has no equivalent
+(§3.5.1: "there is no similar mechanism in TCP").
+
+Run:  python examples/multihoming_failover.py
+"""
+
+from repro.core.world import World, WorldConfig
+from repro.simkernel import SECOND
+from repro.transport.sctp import SCTPConfig
+from repro.workloads.mpbench import make_pingpong
+
+
+def main():
+    config = WorldConfig(
+        n_procs=2,
+        rpi="sctp",
+        n_paths=2,
+        seed=11,
+        sctp_config=SCTPConfig(path_max_retrans=1, heartbeat_interval_ns=2 * SECOND),
+    )
+    world = World(config)
+    world.kernel.call_after(3_000_000, _kill_primary, world)  # t = 3 ms
+
+    result = world.run(make_pingpong(30 * 1024, 40))
+    print(f"ping-pong finished in {result.duration_ns / 1e9:.2f} s of virtual time")
+    for proc in world.processes:
+        for assoc in proc.rpi.sock._assocs.values():
+            states = {a: p.state for a, p in assoc.paths.items()}
+            print(
+                f"  rank {proc.rank}: paths {states}, "
+                f"retransmits redirected to alternate: {assoc.stats.failovers}"
+            )
+
+
+def _kill_primary(world):
+    print("  !! primary subnet switch failed")
+    world.cluster.fail_path(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Mini NAS Parallel Benchmarks over both transports (paper Fig. 9).
+
+Runs the seven NPB mini-kernels the paper used (FT omitted, as there) at
+class W on eight simulated nodes, printing Mop/s per RPI.  Use class B
+and the benchmark suite for the full Fig. 9 reproduction.
+
+Run:  python examples/nas_demo.py [CLASS]
+"""
+
+import sys
+
+from repro.workloads.npb import run_npb
+
+KERNEL_ORDER = ["LU", "SP", "EP", "CG", "BT", "MG", "IS"]
+
+
+def main():
+    cls = sys.argv[1] if len(sys.argv) > 1 else "W"
+    print(f"NPB mini-kernels, class {cls}, 8 processes")
+    print(f"{'kernel':>7} {'tcp Mop/s':>11} {'sctp Mop/s':>11} {'sctp/tcp':>9}  verified")
+    for name in KERNEL_ORDER:
+        tcp = run_npb(name, cls, rpi="tcp", seed=1)
+        sctp = run_npb(name, cls, rpi="sctp", seed=1)
+        print(
+            f"{name:>7} {tcp.mops:>11.1f} {sctp.mops:>11.1f} "
+            f"{sctp.mops / tcp.mops:>9.2f}  {tcp.verified and sctp.verified}"
+        )
+
+
+if __name__ == "__main__":
+    main()

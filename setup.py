@@ -1,0 +1,5 @@
+"""Legacy setup shim: this environment has setuptools but no `wheel`,
+so PEP-660 editable installs fail; `pip install -e .` uses this path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Reproduction of "SCTP versus TCP for MPI" (Kamal, Penoff, Wagner — SC|05).
+
+A deterministic, packet-level reproduction of the paper's entire system:
+TCP and SCTP implemented from scratch on a virtual-time network
+simulator, a LAM-like MPI middleware with the paper's TCP and SCTP RPI
+modules, the evaluation workloads (MPBench ping-pong, mini NAS Parallel
+Benchmarks, the Bulk Processor Farm), and one benchmark per published
+table and figure.
+
+Entry points:
+
+>>> from repro import run_app
+>>> async def app(comm):
+...     return await comm.allreduce(comm.rank)
+>>> run_app(app, n_procs=8, rpi="sctp", loss_rate=0.01).results
+[28, 28, 28, 28, 28, 28, 28, 28]
+
+See README.md for the guided tour, DESIGN.md for the system inventory,
+and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from .core import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    EAGER_LIMIT,
+    Request,
+    Status,
+    World,
+    WorldConfig,
+    WorldResult,
+    run_app,
+)
+from .util.blobs import ChunkList, RealBlob, SyntheticBlob
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ChunkList",
+    "Communicator",
+    "EAGER_LIMIT",
+    "RealBlob",
+    "Request",
+    "Status",
+    "SyntheticBlob",
+    "World",
+    "WorldConfig",
+    "WorldResult",
+    "run_app",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Benchmark harness: one entry point per paper table/figure.
+
+Each ``fig*``/``table*`` function runs the relevant simulations and
+returns structured rows; ``format_table`` renders them next to the
+paper's published values so every ``pytest benchmarks/`` run prints a
+paper-vs-measured comparison (recorded in EXPERIMENTS.md).
+"""
+
+from .harness import (
+    ExperimentRow,
+    fig8_pingpong_noloss,
+    fig9_nas,
+    fig10_farm,
+    fig11_farm_fanout,
+    fig12_hol_blocking,
+    format_table,
+    multihoming_failover,
+    scaled,
+    table1_pingpong_loss,
+)
+
+__all__ = [
+    "ExperimentRow",
+    "fig8_pingpong_noloss",
+    "fig9_nas",
+    "fig10_farm",
+    "fig11_farm_fanout",
+    "fig12_hol_blocking",
+    "format_table",
+    "multihoming_failover",
+    "scaled",
+    "table1_pingpong_loss",
+]

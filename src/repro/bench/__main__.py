@@ -1,0 +1,60 @@
+"""Command-line experiment runner: ``python -m repro.bench <experiment>``.
+
+Runs one (or all) of the paper's experiments and prints the
+paper-vs-measured table, without pytest.  Useful for quick interactive
+exploration and for scripting sweeps.
+
+    python -m repro.bench fig8
+    python -m repro.bench table1 fig10
+    python -m repro.bench all
+    REPRO_FULL=1 python -m repro.bench fig9
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (
+    fig8_pingpong_noloss,
+    fig9_nas,
+    fig10_farm,
+    fig11_farm_fanout,
+    fig12_hol_blocking,
+    format_table,
+    multihoming_failover,
+    table1_pingpong_loss,
+)
+
+EXPERIMENTS = {
+    "fig8": ("Fig. 8: ping-pong throughput (no loss)", fig8_pingpong_noloss),
+    "table1": ("Table 1: ping-pong throughput under loss", table1_pingpong_loss),
+    "fig9": ("Fig. 9: NPB class B Mop/s (8 procs)", fig9_nas),
+    "fig10": ("Fig. 10: farm run times, fanout=1", fig10_farm),
+    "fig11": ("Fig. 11: farm run times, fanout=10", fig11_farm_fanout),
+    "fig12": ("Fig. 12: 10 streams vs 1 stream (SCTP)", fig12_hol_blocking),
+    "failover": ("Multihoming: primary-path failure mid-run", multihoming_failover),
+}
+
+
+def main(argv: list[str]) -> int:
+    names = argv or ["all"]
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(EXPERIMENTS)}, all")
+        return 2
+    for name in names:
+        title, fn = EXPERIMENTS[name]
+        started = time.time()
+        rows = fn()
+        print(format_table(title, rows))
+        print(f"  [{name}: {time.time() - started:.1f}s wall]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

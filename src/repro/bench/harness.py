@@ -1,0 +1,352 @@
+"""Experiment drivers for every table and figure in the paper's §4.
+
+Scaling: simulating 10,000 farm tasks or 50-iteration ping-pongs is
+possible but slow in pure Python, so by default each experiment runs a
+documented scale-down (fewer tasks/iterations — *never* different
+protocol parameters).  Set ``REPRO_FULL=1`` for paper-scale runs.
+Run-time ratios, crossovers and winners are scale-invariant here because
+they are per-message effects; EXPERIMENTS.md records both.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.world import WorldConfig
+from ..workloads.farm import FarmParams, run_farm
+from ..workloads.mpbench import make_pingpong, run_pingpong
+from ..workloads.npb import run_npb
+
+LIMIT_NS = 20_000_000_000_000  # hard per-run virtual-time ceiling (watchdog)
+
+
+def full_scale() -> bool:
+    """Whether to run paper-scale parameters (REPRO_FULL=1)."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def scaled(default: int, full: int) -> int:
+    """Pick the scaled-down or paper-scale value of a parameter."""
+    return full if full_scale() else default
+
+
+@dataclass
+class ExperimentRow:
+    """One row of a paper-vs-measured comparison table."""
+
+    label: str
+    measured: Dict[str, Any]
+    paper: Dict[str, Any] = field(default_factory=dict)
+    note: str = ""
+
+
+def format_table(title: str, rows: List[ExperimentRow]) -> str:
+    """Render rows for the bench log / EXPERIMENTS.md."""
+    lines = [f"== {title} =="]
+    for row in rows:
+        measured = "  ".join(f"{k}={_fmt(v)}" for k, v in row.measured.items())
+        paper = "  ".join(f"{k}={_fmt(v)}" for k, v in row.paper.items())
+        line = f"  {row.label:<38} {measured}"
+        if paper:
+            line += f"   | paper: {paper}"
+        if row.note:
+            line += f"   ({row.note})"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:,.3g}" if abs(v) < 100 else f"{v:,.0f}"
+    return str(v)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — ping-pong throughput, no loss, normalized SCTP/TCP
+# ---------------------------------------------------------------------------
+FIG8_SIZES = [1, 1024, 4096, 8192, 16384, 22528, 32768, 65536, 98302, 131069]
+
+
+def fig8_pingpong_noloss(seed: int = 1, iterations: Optional[int] = None) -> List[ExperimentRow]:
+    """TCP wins small, SCTP wins large; paper crossover ~22 KiB."""
+    iters = iterations or scaled(16, 50)
+    rows = []
+    for size in FIG8_SIZES:
+        tcp = run_pingpong("tcp", size, iterations=iters, seed=seed, limit_ns=LIMIT_NS)
+        sctp = run_pingpong("sctp", size, iterations=iters, seed=seed, limit_ns=LIMIT_NS)
+        ratio = sctp.throughput_bytes_per_s / tcp.throughput_bytes_per_s
+        rows.append(
+            ExperimentRow(
+                label=f"pingpong {size}B",
+                measured={
+                    "tcp_MBps": tcp.throughput_bytes_per_s / 1e6,
+                    "sctp_MBps": sctp.throughput_bytes_per_s / 1e6,
+                    "sctp/tcp": ratio,
+                },
+                paper={"shape": "<1 below ~22K, >1 above"},
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — ping-pong under loss
+# ---------------------------------------------------------------------------
+TABLE1_PAPER = {
+    (30 * 1024, 0.01): (54_779, 1_924),
+    (30 * 1024, 0.02): (44_614, 1_030),
+    (300 * 1024, 0.01): (5_870, 1_818),
+    (300 * 1024, 0.02): (2_825, 885),
+}
+
+
+def table1_pingpong_loss(seeds=(1, 2, 3, 4, 5)) -> List[ExperimentRow]:
+    """SCTP ahead of TCP under loss, both message sizes.
+
+    Individual runs are dominated by whether a tail-drop timeout (with
+    backoff) lands in the measured window, so each cell averages several
+    seeds.  Our measured factors (~1-2x) are far below the paper's
+    (3-43x); EXPERIMENTS.md discusses why faithful SACK recovery on both
+    stacks narrows the gap the paper observed."""
+    rows = []
+    for size in (30 * 1024, 300 * 1024):
+        iters = scaled(50, 100) if size <= 64 * 1024 else scaled(16, 40)
+        for loss in (0.01, 0.02):
+            tcp_bps = sctp_bps = 0.0
+            for seed in seeds:
+                tcp_bps += run_pingpong(
+                    "tcp", size, iterations=iters, loss_rate=loss, seed=seed,
+                    limit_ns=LIMIT_NS,
+                ).throughput_bytes_per_s
+                sctp_bps += run_pingpong(
+                    "sctp", size, iterations=iters, loss_rate=loss, seed=seed,
+                    limit_ns=LIMIT_NS,
+                ).throughput_bytes_per_s
+            tcp_bps /= len(seeds)
+            sctp_bps /= len(seeds)
+            p_sctp, p_tcp = TABLE1_PAPER[(size, loss)]
+            rows.append(
+                ExperimentRow(
+                    label=f"pingpong {size // 1024}K loss={loss:.0%}",
+                    measured={
+                        "sctp_Bps": sctp_bps,
+                        "tcp_Bps": tcp_bps,
+                        "sctp/tcp": sctp_bps / max(1e-9, tcp_bps),
+                    },
+                    paper={
+                        "sctp_Bps": p_sctp,
+                        "tcp_Bps": p_tcp,
+                        "sctp/tcp": p_sctp / p_tcp,
+                    },
+                    note=f"mean of {len(seeds)} seeds",
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — NAS parallel benchmarks, class B, Mop/s
+# ---------------------------------------------------------------------------
+FIG9_ORDER = ["LU", "SP", "EP", "CG", "BT", "MG", "IS"]
+
+
+def fig9_nas(cls: str = "B", seed: int = 1) -> List[ExperimentRow]:
+    """SCTP comparable to TCP overall; TCP ahead on MG and BT."""
+    rows = []
+    for name in FIG9_ORDER:
+        tcp = run_npb(name, cls, rpi="tcp", seed=seed, limit_ns=LIMIT_NS)
+        sctp = run_npb(name, cls, rpi="sctp", seed=seed, limit_ns=LIMIT_NS)
+        rows.append(
+            ExperimentRow(
+                label=f"NPB {name}.{cls}",
+                measured={
+                    "sctp_Mops": sctp.mops,
+                    "tcp_Mops": tcp.mops,
+                    "sctp/tcp": sctp.mops / max(1e-9, tcp.mops),
+                    "verified": sctp.verified and tcp.verified,
+                },
+                paper={
+                    "shape": "TCP ahead on MG,BT; comparable elsewhere"
+                    if name in ("MG", "BT")
+                    else "comparable"
+                },
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figs. 10/11 — Bulk Processor Farm
+# ---------------------------------------------------------------------------
+FIG10_PAPER = {  # (size_label, loss) -> (sctp_s, tcp_s), fanout=1
+    ("short", 0.00): (6.8, 5.9),
+    ("short", 0.01): (7.7, 79.9),
+    ("short", 0.02): (11.2, 131.5),
+    ("long", 0.00): (83.0, 114.0),
+    ("long", 0.01): (804.0, 2080.0),
+    ("long", 0.02): (1595.0, 4311.0),
+}
+
+FIG11_PAPER = {  # fanout=10
+    ("short", 0.00): (8.7, 6.2),
+    ("short", 0.01): (11.7, 88.1),
+    ("short", 0.02): (16.0, 154.7),
+    ("long", 0.00): (79.0, 129.0),
+    ("long", 0.01): (786.0, 3103.0),
+    ("long", 0.02): (1585.0, 6414.0),
+}
+
+
+def _farm_params(size_label: str, fanout: int) -> FarmParams:
+    task_size = 30 * 1024 if size_label == "short" else 300 * 1024
+    num_tasks = (
+        scaled(420, 10_000) if size_label == "short" else scaled(120, 10_000)
+    )
+    return FarmParams(
+        num_tasks=num_tasks,
+        task_size=task_size,
+        fanout=fanout,
+        compute_seconds_per_task=0.004,
+    )
+
+
+def _farm_rows(fanout: int, paper: Dict, seed: int) -> List[ExperimentRow]:
+    rows = []
+    for size_label in ("short", "long"):
+        params = _farm_params(size_label, fanout)
+        for loss in (0.00, 0.01, 0.02):
+            sctp = run_farm(
+                "sctp", params, loss_rate=loss, seed=seed, limit_ns=LIMIT_NS
+            )
+            tcp = run_farm(
+                "tcp", params, loss_rate=loss, seed=seed, limit_ns=LIMIT_NS
+            )
+            p_sctp, p_tcp = paper[(size_label, loss)]
+            rows.append(
+                ExperimentRow(
+                    label=f"farm {size_label} fanout={fanout} loss={loss:.0%}",
+                    measured={
+                        "sctp_s": sctp.elapsed_s,
+                        "tcp_s": tcp.elapsed_s,
+                        "tcp/sctp": tcp.elapsed_s / max(1e-9, sctp.elapsed_s),
+                    },
+                    paper={
+                        "sctp_s": p_sctp,
+                        "tcp_s": p_tcp,
+                        "tcp/sctp": p_tcp / p_sctp,
+                    },
+                    note=f"{params.num_tasks} tasks (paper: 10000)",
+                )
+            )
+    return rows
+
+
+def fig10_farm(seed: int = 1) -> List[ExperimentRow]:
+    """Fanout=1: SCTP ~10x faster (short, loss), ~2.6x (long, loss)."""
+    return _farm_rows(1, FIG10_PAPER, seed)
+
+
+def fig11_farm_fanout(seed: int = 1) -> List[ExperimentRow]:
+    """Fanout=10: TCP degrades further, especially for long messages."""
+    return _farm_rows(10, FIG11_PAPER, seed)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — head-of-line blocking: 10-stream vs 1-stream SCTP
+# ---------------------------------------------------------------------------
+FIG12_PAPER = {  # (size_label, loss) -> (streams10_s, stream1_s)
+    ("short", 0.00): (8.7, 9.3),
+    ("short", 0.01): (11.7, 11.0),
+    ("short", 0.02): (16.0, 21.6),
+    ("long", 0.00): (79.0, 79.0),
+    ("long", 0.01): (786.0, 1000.0),
+    ("long", 0.02): (1585.0, 1942.0),
+}
+
+
+def fig12_hol_blocking(seeds=(1, 2, 3)) -> List[ExperimentRow]:
+    """The multistreaming ablation: 1 stream re-introduces HOL blocking.
+
+    Run times at demo scale are dominated by a handful of retransmission
+    timeouts, so each cell averages several seeds (the paper averaged six
+    runs of 10,000 tasks for the same reason — §4.2.1)."""
+    rows = []
+    for size_label in ("short", "long"):
+        params = _farm_params(size_label, fanout=10)
+        for loss in (0.00, 0.01, 0.02):
+            multi_s = single_s = 0.0
+            use_seeds = seeds if loss > 0 else seeds[:1]
+            for seed in use_seeds:
+                multi_s += run_farm(
+                    "sctp", params, loss_rate=loss, seed=seed, num_streams=10,
+                    limit_ns=LIMIT_NS,
+                ).elapsed_s
+                single_s += run_farm(
+                    "sctp", params, loss_rate=loss, seed=seed, num_streams=1,
+                    limit_ns=LIMIT_NS,
+                ).elapsed_s
+            multi_s /= len(use_seeds)
+            single_s /= len(use_seeds)
+            p10, p1 = FIG12_PAPER[(size_label, loss)]
+            rows.append(
+                ExperimentRow(
+                    label=f"farm {size_label} fanout=10 loss={loss:.0%}",
+                    measured={
+                        "streams10_s": multi_s,
+                        "stream1_s": single_s,
+                        "1s/10s": single_s / max(1e-9, multi_s),
+                    },
+                    paper={
+                        "streams10_s": p10,
+                        "stream1_s": p1,
+                        "1s/10s": p1 / p10,
+                    },
+                    note=f"mean of {len(use_seeds)} seeds",
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# §3.5.1 extension — multihoming failover keeps an MPI run alive
+# ---------------------------------------------------------------------------
+def multihoming_failover(seed: int = 1) -> List[ExperimentRow]:
+    """Kill the primary path mid-run; SCTP fails over, the app finishes."""
+    from ..core.world import World
+    from ..transport.sctp import SCTPConfig
+    from ..simkernel import SECOND
+
+    size = 30 * 1024
+    iters = scaled(30, 200)
+    # tuned failure detection, as §3.5.1 recommends for MPI deployments
+    sctp_config = SCTPConfig(path_max_retrans=1, heartbeat_interval_ns=2 * SECOND)
+    config = WorldConfig(
+        n_procs=2, rpi="sctp", seed=seed, n_paths=2, sctp_config=sctp_config
+    )
+    world = World(config)
+
+    async def app(comm):
+        result = await make_pingpong(size, iters)(comm)
+        return result
+
+    # sever path 0 (the primary subnet) shortly after the run starts
+    world.kernel.call_after(3_000_000, world.cluster.fail_path, 0)
+    result = world.run(app, limit_ns=LIMIT_NS)
+
+    failovers = 0
+    for proc in world.processes:
+        for assoc in proc.rpi.sock._assocs.values():
+            failovers += assoc.stats.failovers
+    return [
+        ExperimentRow(
+            label="pingpong w/ primary-path failure",
+            measured={
+                "completed": result.results[0] is not None,
+                "elapsed_s": result.duration_ns / 1e9,
+                "failover_retransmits": failovers,
+            },
+            paper={"shape": "transparent failover (§3.5.1)"},
+        )
+    ]

@@ -1,0 +1,53 @@
+"""MPI middleware constants (LAM conventions)."""
+
+# wildcards (MPI_ANY_SOURCE / MPI_ANY_TAG)
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: LAM's short/long message boundary: messages at or below this many bytes
+#: are sent eagerly; larger ones use the rendezvous protocol (§2.2.2).
+EAGER_LIMIT = 64 * 1024
+
+#: Default port MPI processes bind their transport endpoints to.
+MPI_BASE_PORT = 7100
+
+# -- envelope flag bits (the LAM envelope's "flags" field, Fig. 2) --------
+FLAG_SHORT = 0x01  # eager short message: body follows the envelope
+FLAG_LONG_RNDV = 0x02  # long-message rendezvous request (envelope only)
+FLAG_LONG_ACK = 0x04  # receiver's ack: ready for the long body
+FLAG_LONG_BODY = 0x08  # second envelope, long body follows
+FLAG_SSEND = 0x10  # synchronous short: eager, but completion needs an ack
+FLAG_SSEND_ACK = 0x20  # receiver's ack for a synchronous short
+FLAG_PICKLED = 0x40  # body is a pickled Python object
+FLAG_HELLO = 0x100  # connection setup: identifies the sender's rank
+FLAG_BARRIER_READY = 0x200  # init barrier: worker -> rank 0
+FLAG_BARRIER_GO = 0x400  # init barrier: rank 0 -> everyone
+
+#: Which flag bits name a message *kind* (exactly one must be set).
+KIND_MASK = (
+    FLAG_SHORT
+    | FLAG_LONG_RNDV
+    | FLAG_LONG_ACK
+    | FLAG_LONG_BODY
+    | FLAG_SSEND
+    | FLAG_SSEND_ACK
+    | FLAG_HELLO
+    | FLAG_BARRIER_READY
+    | FLAG_BARRIER_GO
+)
+
+# -- contexts --------------------------------------------------------------
+#: COMM_WORLD's context id.  Like LAM's cid scheme, each communicator owns
+#: two contexts: ``2*cid`` for point-to-point and ``2*cid + 1`` for
+#: collectives, so user messages can never match collective traffic.
+WORLD_CONTEXT = 0
+
+
+def pt2pt_context(cid: int) -> int:
+    """Point-to-point context of communicator ``cid``."""
+    return 2 * cid
+
+
+def collective_context(cid: int) -> int:
+    """Collective context of communicator ``cid``."""
+    return 2 * cid + 1

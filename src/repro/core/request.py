@@ -1,0 +1,128 @@
+"""MPI request objects and completion status.
+
+A :class:`Request` is what ``isend``/``irecv`` return; the progression
+engine moves it through its protocol states and completes the underlying
+future.  ``Status`` mirrors MPI_Status: actual source, tag and byte count
+— essential with wildcards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..simkernel import Future
+from ..util.blobs import ChunkList
+
+# request protocol states
+S_INIT = "init"
+S_SENDING = "sending"  # body being handed to the transport
+S_RNDV_WAIT_ACK = "rndv_wait_ack"  # long send: envelope out, awaiting ack
+S_SSEND_WAIT_ACK = "ssend_wait_ack"  # sync short: body out, awaiting ack
+S_RECV_POSTED = "recv_posted"
+S_RECV_BODY = "recv_body"  # long recv: ack sent, body arriving
+S_DONE = "done"
+
+
+@dataclass
+class Status:
+    """Completion information (MPI_Status)."""
+
+    source: int = -1
+    tag: int = -1
+    length: int = 0
+
+
+class Request:
+    """One in-flight communication request."""
+
+    _next_id = 1
+
+    def __init__(self, kind: str, owner_rank: int) -> None:
+        self.kind = kind  # "send" | "recv"
+        self.owner_rank = owner_rank
+        self.id = Request._next_id
+        Request._next_id += 1
+        self.state = S_INIT
+        self.future = Future(name=f"{kind}-req-{self.id}")
+        self.status = Status()
+        self.data: Any = None  # decoded payload (recv side)
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has completed."""
+        return self.state == S_DONE
+
+    def complete(self, data: Any = None) -> None:
+        """Mark done and wake any waiter."""
+        if self.state == S_DONE:
+            return
+        self.state = S_DONE
+        self.data = data
+        if not self.future.done():
+            self.future.set_result(self)
+
+    def fail(self, exc: BaseException) -> None:
+        """Complete the request with an error."""
+        if self.state == S_DONE:
+            return
+        self.state = S_DONE
+        if not self.future.done():
+            self.future.set_exception(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Request #{self.id} {self.kind} {self.state}>"
+
+
+class SendRequest(Request):
+    """Outgoing message: payload plus protocol bookkeeping."""
+
+    def __init__(
+        self,
+        owner_rank: int,
+        dest: int,
+        tag: int,
+        context: int,
+        body: ChunkList,
+        flags_extra: int,
+        synchronous: bool,
+        seqnum: int,
+    ) -> None:
+        super().__init__("send", owner_rank)
+        self.dest = dest
+        self.tag = tag
+        self.context = context
+        self.body = body
+        self.flags_extra = flags_extra
+        self.synchronous = synchronous
+        self.seqnum = seqnum
+        self.status.source = owner_rank
+        self.status.tag = tag
+        self.status.length = body.nbytes
+
+
+class RecvRequest(Request):
+    """Posted receive: matching criteria plus an accumulation buffer."""
+
+    def __init__(self, owner_rank: int, source: int, tag: int, context: int) -> None:
+        super().__init__("recv", owner_rank)
+        self.source = source  # may be ANY_SOURCE
+        self.tag = tag  # may be ANY_TAG
+        self.context = context
+        self.body = ChunkList()
+        self.expected_length: Optional[int] = None
+        self.body_flags = 0
+        self.matched_source: Optional[int] = None
+        self.matched_seqnum: Optional[int] = None
+
+    def matches(self, env_tag: int, env_context: int, env_rank: int) -> bool:
+        """MPI matching rule with wildcards."""
+        from .constants import ANY_SOURCE, ANY_TAG
+
+        if self.context != env_context:
+            return False
+        if self.source != ANY_SOURCE and self.source != env_rank:
+            return False
+        if self.tag != ANY_TAG and self.tag != env_tag:
+            return False
+        return True

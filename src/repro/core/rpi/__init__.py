@@ -1,0 +1,15 @@
+"""Request progression interface (RPI) modules.
+
+LAM's RPI is the pluggable layer that moves requests from initialization
+to completion over a concrete transport (§2.2.1).  ``base.py`` holds the
+transport-independent protocol engine (eager / rendezvous / synchronous
+short, unexpected-message buffering, ACK bookkeeping); ``tcp_rpi.py`` and
+``sctp_rpi.py`` bind it to the two transports exactly the way LAM-TCP and
+the paper's LAM-SCTP module do.
+"""
+
+from .base import BaseRPI, RPIStats
+from .sctp_rpi import SCTPRPI
+from .tcp_rpi import TCPRPI
+
+__all__ = ["BaseRPI", "RPIStats", "SCTPRPI", "TCPRPI"]

@@ -1,0 +1,278 @@
+"""The paper's SCTP RPI: one-to-many socket, streams, Option B.
+
+This is the module the paper contributes (§3).  Design points, each
+mapped to the paper section it implements:
+
+* **one socket, many associations** (§3.1/§3.3): a single one-to-many
+  SCTP socket; associations are mapped to ranks via a HELLO envelope;
+  no ``select()`` — the RPI simply tries ``sctp_recvmsg``/``sctp_sendmsg``
+  and advances other requests on EAGAIN,
+* **TRC -> stream mapping** (§3.2.1): messages hash (context, tag) onto a
+  fixed pool of stream numbers (10 by default), so differently-tagged
+  messages from the same peer are delivered independently —
+  ``num_streams=1`` builds the single-stream ablation module of §4.2.2,
+* **two-level demultiplexing** (§3.1): association id -> rank, then stream
+  number -> per-stream receive state,
+* **per-stream state** (§3.2.4): long bodies arrive as a series of SCTP
+  messages on one stream; a (rank, stream) continuation record routes
+  them to the right request — valid only because of
+* **Option B** (§3.4.2): a second middleware message is never started on
+  a (peer, stream) while another is still being written to it; each
+  (rank, stream) has a FIFO queue and only the head transmits, while
+  *other* streams/associations keep making progress,
+* **long message re-fragmentation** (§3.4/§3.6): sctp_sendmsg can take at
+  most a send-buffer-sized message, so the RPI splits long bodies into
+  eager-limit-sized pieces on the same stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ...transport.sctp import OneToManySocket, SCTPConfig
+from ...util.blobs import ChunkList
+from ..constants import (
+    FLAG_BARRIER_GO,
+    FLAG_BARRIER_READY,
+    FLAG_HELLO,
+    FLAG_LONG_BODY,
+    MPI_BASE_PORT,
+)
+from ..envelope import ENVELOPE_SIZE, Envelope
+from .base import BaseRPI
+
+
+@dataclass
+class _SctpOutUnit:
+    """One middleware unit, transmitted as 1..N SCTP messages."""
+
+    env: Envelope
+    body: ChunkList
+    on_sent: Optional[Callable[[], None]] = None
+    env_sent: bool = False
+    body_offset: int = 0
+
+    def done(self) -> bool:
+        return self.env_sent and self.body_offset >= self.body.nbytes
+
+
+class SCTPRPI(BaseRPI):
+    """The paper's LAM-SCTP request progression module."""
+
+    name = "sctp"
+
+    def __init__(
+        self,
+        process,
+        num_streams: int = 10,
+        eager_limit=None,
+        long_piece_size: Optional[int] = None,
+        port: int = MPI_BASE_PORT,
+    ) -> None:
+        super().__init__(process, **({} if eager_limit is None else {"eager_limit": eager_limit}))
+        if num_streams < 1:
+            raise ValueError("need at least one stream")
+        self.num_streams = num_streams
+        # pieces of a long body per sctp_sendmsg; must not exceed the
+        # send buffer (the sctp_sendmsg limit, §3.4)
+        self.long_piece_size = long_piece_size or self.eager_limit
+        self.port = port
+        self.endpoint = process.sctp_endpoint
+        base = process.world.sctp_config
+        self.sctp_config = SCTPConfig(
+            **{
+                **base.__dict__,
+                "n_out_streams": num_streams,
+                "n_in_streams": num_streams,
+            }
+        )
+        if self.long_piece_size + ENVELOPE_SIZE > self.sctp_config.max_message_size:
+            raise ValueError("long piece size exceeds the sctp_sendmsg limit")
+        self.sock: Optional[OneToManySocket] = None
+        self._rank_by_assoc: Dict[int, int] = {}
+        self._assoc_by_rank: Dict[int, int] = {}
+        self._outq: Dict[Tuple[int, int], Deque[_SctpOutUnit]] = {}
+        # (rank, stream) -> [seqnum, remaining_bytes] continuation state
+        self._rx_cont: Dict[Tuple[int, int], List[int]] = {}
+        self._barrier_ready = 0
+        self._barrier_go = False
+        self.set_control_sink(self._handle_control)
+
+    # ------------------------------------------------------------------
+    # stream mapping (§3.2.1)
+    # ------------------------------------------------------------------
+    def stream_for(self, context: int, tag: int) -> int:
+        """Map a (context, tag) pair onto the fixed stream pool."""
+        return (context * 31 + tag) % self.num_streams
+
+    # ------------------------------------------------------------------
+    # init / finalize
+    # ------------------------------------------------------------------
+    async def init(self) -> None:
+        """Set up associations with every peer, then barrier (§3.4).
+
+        One-to-many sockets need no accept(); the explicit barrier makes
+        sure no rank starts sending before everyone's associations exist."""
+        self.sock = OneToManySocket(self.endpoint, self.port, self.sctp_config)
+        self.sock.on_readable = self.wake
+        self.sock.on_writable = lambda _aid: self.wake()
+        self.sock.on_assoc_up = lambda _aid: self.wake()
+
+        for peer in range(self.rank + 1, self.size):
+            assoc_id = await self.sock.connect(self.process.addr_of(peer), self.port)
+            self._bind(assoc_id, peer)
+            self.send_control(peer, FLAG_HELLO)
+
+        # lower ranks connect to us; their HELLOs bind assoc -> rank
+        while len(self._assoc_by_rank) < self.size - 1:
+            await self.advance_once()
+
+        # association-setup barrier (§3.4, final paragraph)
+        if self.rank == 0:
+            while self._barrier_ready < self.size - 1:
+                await self.advance_once()
+            for peer in range(1, self.size):
+                self.send_control(peer, FLAG_BARRIER_GO)
+            while self.outstanding_output() > 0:
+                await self.advance_once()
+        else:
+            self.send_control(0, FLAG_BARRIER_READY)
+            while not self._barrier_go:
+                await self.advance_once()
+
+    def finalize(self) -> None:
+        """Gracefully shut every association down."""
+        if self.sock is not None:
+            self.sock.close()
+
+    def _bind(self, assoc_id: int, rank: int) -> None:
+        self._rank_by_assoc[assoc_id] = rank
+        self._assoc_by_rank[rank] = assoc_id
+
+    def _handle_control(self, src_rank: int, env: Envelope) -> None:
+        kind = env.kind()
+        if kind == FLAG_BARRIER_READY:
+            self._barrier_ready += 1
+        elif kind == FLAG_BARRIER_GO:
+            self._barrier_go = True
+
+    # ------------------------------------------------------------------
+    # transport plumbing
+    # ------------------------------------------------------------------
+    def _enqueue_unit(self, dest, env, body, on_sent=None) -> None:
+        stream = self.stream_for(env.context, env.tag)
+        unit = _SctpOutUnit(
+            env=env, body=body if body is not None else ChunkList(), on_sent=on_sent
+        )
+        self._outq.setdefault((dest, stream), deque()).append(unit)
+        self.stats.units_sent += 1
+        self.stats.bytes_sent += ENVELOPE_SIZE + unit.body.nbytes
+
+    def _pump(self) -> bool:
+        progressed = False
+        # inbound: drain the one socket
+        while True:
+            msg = self.sock.recvmsg() if self.sock is not None else None
+            if msg is None:
+                break
+            self.host.cpu.charge(
+                self.host.cost_model.middleware_io_cost("sctp", msg.nbytes)
+            )
+            self._dispatch(msg)
+            progressed = True
+        # outbound: only the head of each (rank, stream) queue may write
+        # (Option B); EAGAIN on one stream does not stop the others.
+        for (rank, stream), queue in self._outq.items():
+            if not queue:
+                continue
+            assoc_id = self._assoc_by_rank.get(rank)
+            if assoc_id is None:
+                continue  # association still coming up (init)
+            while queue:
+                unit = queue[0]
+                if self._transmit_some(assoc_id, stream, unit):
+                    progressed = True
+                if unit.done():
+                    queue.popleft()
+                    if unit.on_sent is not None:
+                        unit.on_sent()
+                else:
+                    break  # sndbuf full: advance other streams/assocs
+        return progressed
+
+    def _transmit_some(self, assoc_id: int, stream: int, unit: _SctpOutUnit) -> bool:
+        sent_any = False
+        while not unit.done():
+            if not unit.env_sent:
+                take = min(self.long_piece_size, unit.body.nbytes)
+                wire = ChunkList([unit.env.pack()])
+                wire.extend(unit.body.slice(0, take))
+                next_offset = take
+            else:
+                take = min(
+                    self.long_piece_size, unit.body.nbytes - unit.body_offset
+                )
+                wire = unit.body.slice(unit.body_offset, unit.body_offset + take)
+                next_offset = unit.body_offset + take
+            if not self.sock.sendmsg(assoc_id, stream, wire):
+                break  # EAGAIN
+            self.host.cpu.charge(
+                self.host.cost_model.middleware_io_cost("sctp", wire.nbytes)
+            )
+            unit.env_sent = True
+            unit.body_offset = next_offset
+            sent_any = True
+        return sent_any
+
+    def _dispatch(self, msg) -> None:
+        rank = self._rank_by_assoc.get(msg.assoc_id)
+        key = (rank, msg.stream)
+        cont = self._rx_cont.get(key)
+        if cont is not None:
+            # continuation piece of an in-progress long body (§3.2.4);
+            # Option B guarantees nothing else can appear on this stream.
+            seqnum, remaining = cont
+            if msg.nbytes > remaining:
+                raise RuntimeError(
+                    f"rank {self.rank}: stream {key} continuation overflow"
+                )
+            cont[1] = remaining - msg.nbytes
+            if cont[1] == 0:
+                del self._rx_cont[key]
+            self._on_body_piece(rank, seqnum, msg.data)
+            return
+
+        head = msg.data.slice(0, ENVELOPE_SIZE).to_bytes()
+        env = Envelope.unpack(head)
+        body = msg.data.slice(ENVELOPE_SIZE, msg.nbytes)
+        if rank is None:
+            # first unit on an inbound association must identify the peer
+            if env.kind() != FLAG_HELLO:
+                raise RuntimeError(
+                    f"rank {self.rank}: first unit on assoc {msg.assoc_id} "
+                    f"must be HELLO, got {env!r}"
+                )
+            self._bind(msg.assoc_id, env.rank)
+            rank = env.rank
+        if env.kind() == FLAG_LONG_BODY and env.length > body.nbytes:
+            self._rx_cont[(rank, msg.stream)] = [env.seqnum, env.length - body.nbytes]
+        self._on_unit(rank, env, body)
+
+    async def _wait_for_event(self) -> None:
+        if self._wake.is_set():
+            self._wake.clear()
+            return
+        await self._wake.wait()
+        self._wake.clear()
+
+    def outstanding_output(self) -> int:
+        """Bytes still queued toward peers (diagnostics)."""
+        total = 0
+        for queue in self._outq.values():
+            for unit in queue:
+                total += unit.body.nbytes - unit.body_offset
+                if not unit.env_sent:
+                    total += ENVELOPE_SIZE
+        return total

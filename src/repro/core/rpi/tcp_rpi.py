@@ -1,0 +1,255 @@
+"""LAM-TCP RPI: one socket per peer, select()-driven (the baseline).
+
+Faithful to §2.2/§3 of the paper:
+
+* a fully connected mesh of N-1 TCP sockets per process, built during
+  MPI_Init by ``connect``/``accept`` (rank i actively connects to all
+  higher ranks; a HELLO envelope identifies the peer on the passive side),
+* readiness discovered by ``select()`` over all descriptors — whose CPU
+  cost grows linearly with the socket count (§3.3, [20]),
+* per-socket read state machine: because TCP delivers bytes strictly in
+  order, only **one** incoming message per peer can be in flight, so one
+  (envelope, body-progress) pair per socket suffices (§3.2.4) — this is
+  exactly the head-of-line blocking the SCTP module removes,
+* per-peer FIFO write queues: all tags/contexts to the same peer share
+  one byte stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from ...simkernel import wait_any
+from ...transport.tcp import Selector, TCPListener, TCPSocket
+from ...util.blobs import ChunkList
+from ..constants import (
+    FLAG_BARRIER_GO,
+    FLAG_BARRIER_READY,
+    FLAG_HELLO,
+    MPI_BASE_PORT,
+)
+from ..envelope import ENVELOPE_SIZE, Envelope
+from .base import BaseRPI
+
+#: bytes asked of the socket per recv call (LAM posts the whole buffer)
+RECV_CHUNK = 220 * 1024
+
+
+@dataclass
+class _OutUnit:
+    """One queued middleware unit: envelope + body as a single byte run."""
+
+    wire: ChunkList
+    on_sent: Optional[Callable[[], None]] = None
+    offset: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.wire.nbytes
+
+
+class _InState:
+    """Read state machine for one socket (one in-flight message max)."""
+
+    __slots__ = ("buf", "env")
+
+    def __init__(self) -> None:
+        self.buf = ChunkList()
+        self.env: Optional[Envelope] = None
+
+
+class TCPRPI(BaseRPI):
+    """LAM's TCP request progression module."""
+
+    name = "tcp"
+
+    def __init__(self, process, eager_limit=None, port: int = MPI_BASE_PORT) -> None:
+        super().__init__(process, **({} if eager_limit is None else {"eager_limit": eager_limit}))
+        self.port = port
+        self.endpoint = process.tcp_endpoint
+        self.selector = Selector(self.host)
+        self._sock_by_rank: Dict[int, TCPSocket] = {}
+        self._rank_by_sock: Dict[TCPSocket, int] = {}
+        self._all_sockets: List[TCPSocket] = []
+        self._in_state: Dict[TCPSocket, _InState] = {}
+        self._outq: Dict[int, Deque[_OutUnit]] = {
+            r: deque() for r in range(self.size) if r != self.rank
+        }
+        self._barrier_ready = 0
+        self._barrier_go = False
+        self._listener: Optional[TCPListener] = None
+        self.set_control_sink(self._handle_control)
+
+    # ------------------------------------------------------------------
+    # init / finalize
+    # ------------------------------------------------------------------
+    async def init(self) -> None:
+        """Build the full socket mesh (MPI_Init).
+
+        TCP's connect/accept ordering makes an explicit barrier
+        unnecessary (§3.4, last paragraph)."""
+        self._listener = TCPListener(self.endpoint, self.port)
+
+        async def acceptor() -> None:
+            for _ in range(self.rank):  # every lower rank dials us
+                sock = await self._listener.accept()
+                self._register_socket(sock)
+                self.wake()
+
+        accept_task = self.kernel.spawn(acceptor(), name=f"mpi-accept-{self.rank}")
+
+        for peer in range(self.rank + 1, self.size):
+            sock = TCPSocket.connect(
+                self.endpoint,
+                self.process.addr_of(peer),
+                self.port,
+                config=self.process.world.tcp_config,
+            )
+            await sock.connected()
+            self._register_socket(sock, rank=peer)
+            self.send_control(peer, FLAG_HELLO)
+
+        # wait until every lower rank has said hello
+        while len(self._sock_by_rank) < self.size - 1:
+            await self.advance_once()
+        await accept_task
+
+    def finalize(self) -> None:
+        """Close the mesh."""
+        if self._listener is not None:
+            self._listener.close()
+        for sock in self._all_sockets:
+            sock.close()
+
+    def _register_socket(self, sock: TCPSocket, rank: Optional[int] = None) -> None:
+        self._all_sockets.append(sock)
+        self._in_state[sock] = _InState()
+        if rank is not None:
+            self._bind(sock, rank)
+
+    def _bind(self, sock: TCPSocket, rank: int) -> None:
+        self._sock_by_rank[rank] = sock
+        self._rank_by_sock[sock] = rank
+
+    def _handle_control(self, src_rank: int, env: Envelope) -> None:
+        kind = env.kind()
+        if kind == FLAG_BARRIER_READY:
+            self._barrier_ready += 1
+        elif kind == FLAG_BARRIER_GO:
+            self._barrier_go = True
+        # HELLO itself is consumed by the feed path (socket -> rank binding)
+
+    # ------------------------------------------------------------------
+    # transport plumbing
+    # ------------------------------------------------------------------
+    def _enqueue_unit(self, dest, env, body, on_sent=None) -> None:
+        wire = ChunkList([env.pack()])
+        if body is not None:
+            wire.extend(body)
+        self._outq[dest].append(_OutUnit(wire=wire, on_sent=on_sent))
+        self.stats.units_sent += 1
+        self.stats.bytes_sent += wire.nbytes
+
+    def _pump(self) -> bool:
+        progressed = False
+        # inbound: drain every socket
+        for sock in list(self._all_sockets):
+            while True:
+                chunk = sock.recv(RECV_CHUNK)
+                if chunk is None:
+                    break
+                if chunk.nbytes == 0:
+                    # EOF/teardown: a finished peer closed its side; stop
+                    # watching or select() would spin on it forever
+                    self._retire_socket(sock)
+                    break
+                self.host.cpu.charge(
+                    self.host.cost_model.middleware_io_cost("tcp", chunk.nbytes)
+                )
+                self._feed(sock, chunk)
+                progressed = True
+        # outbound: flush per-peer FIFO queues
+        for rank, queue in self._outq.items():
+            if not queue:
+                continue
+            sock = self._sock_by_rank.get(rank)
+            if sock is None:
+                continue  # peer not connected yet (only during init)
+            while queue:
+                unit = queue[0]
+                if self._send_some(sock, unit) > 0:
+                    progressed = True
+                if unit.offset >= unit.total:
+                    queue.popleft()
+                    if unit.on_sent is not None:
+                        unit.on_sent()
+                else:
+                    break  # socket would block: move to the next peer
+        return progressed
+
+    def _retire_socket(self, sock: TCPSocket) -> None:
+        if sock in self._all_sockets:
+            self._all_sockets.remove(sock)
+        rank = self._rank_by_sock.pop(sock, None)
+        if rank is not None:
+            self._sock_by_rank.pop(rank, None)
+        self._in_state.pop(sock, None)
+
+    def _send_some(self, sock: TCPSocket, unit: _OutUnit) -> int:
+        sent = 0
+        while unit.offset < unit.total:
+            window = unit.wire.slice(unit.offset, unit.total)
+            accepted = sock.send(window.pieces[0])
+            if accepted == 0:
+                break
+            self.host.cpu.charge(
+                self.host.cost_model.middleware_io_cost("tcp", accepted)
+            )
+            unit.offset += accepted
+            sent += accepted
+        return sent
+
+    def _feed(self, sock: TCPSocket, chunk: ChunkList) -> None:
+        state = self._in_state[sock]
+        state.buf.extend(chunk)
+        while True:
+            if state.env is None:
+                if state.buf.nbytes < ENVELOPE_SIZE:
+                    return
+                head, state.buf = state.buf.split(ENVELOPE_SIZE)
+                state.env = Envelope.unpack(head.to_bytes())
+            if state.buf.nbytes < state.env.wire_body_length():
+                return
+            body, state.buf = state.buf.split(state.env.wire_body_length())
+            env, state.env = state.env, None
+            if sock not in self._rank_by_sock:
+                if env.kind() != FLAG_HELLO:
+                    raise RuntimeError(
+                        f"rank {self.rank}: first unit on a socket must be "
+                        f"HELLO, got {env!r}"
+                    )
+                self._bind(sock, env.rank)
+            self._on_unit(env.rank, env, body)
+
+    async def _wait_for_event(self) -> None:
+        if self._wake.is_set():
+            self._wake.clear()
+            return
+        write_socks = [
+            self._sock_by_rank[r]
+            for r, q in self._outq.items()
+            if q and r in self._sock_by_rank
+        ]
+        sel_fut = self.selector.wait(self._all_sockets, write_socks)
+        await wait_any([sel_fut, self._wake.wait()])
+        if not sel_fut.done():
+            self.selector.cancel_wait()
+        self._wake.clear()
+
+    def outstanding_output(self) -> int:
+        """Bytes still queued toward peers (diagnostics)."""
+        return sum(
+            sum(u.total - u.offset for u in q) for q in self._outq.values()
+        )

@@ -1,0 +1,58 @@
+"""Dummynet-style loss/delay pipe.
+
+The paper's testbed ran FreeBSD Dummynet on every node to inject a
+configurable packet loss rate (0%, 1%, 2%) on the links between nodes.
+:class:`DummynetPipe` reproduces the ``plr`` behaviour: an independent
+Bernoulli drop per packet, drawn from a named, seeded RNG stream so
+experiments are reproducible, plus an optional fixed extra delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..simkernel import Kernel
+from .packet import Packet
+
+Sink = Callable[[Packet], None]
+
+
+class DummynetPipe:
+    """Callable packet filter: drop with probability ``loss_rate``."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        loss_rate: float = 0.0,
+        extra_delay_ns: int = 0,
+        sink: Optional[Sink] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1): {loss_rate}")
+        if extra_delay_ns < 0:
+            raise ValueError("extra delay cannot be negative")
+        self.kernel = kernel
+        self.name = name
+        self.loss_rate = loss_rate
+        self.extra_delay_ns = extra_delay_ns
+        self.sink = sink
+        self._rng = kernel.rng(f"dummynet:{name}")
+        self.passed_packets = 0
+        self.dropped_packets = 0
+
+    def connect(self, sink: Sink) -> None:
+        """Attach the downstream element (usually a Link)."""
+        self.sink = sink
+
+    def __call__(self, packet: Packet) -> None:
+        if self.sink is None:
+            raise RuntimeError(f"dummynet pipe {self.name} has no sink")
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.dropped_packets += 1
+            return
+        self.passed_packets += 1
+        if self.extra_delay_ns:
+            self.kernel.call_after(self.extra_delay_ns, self.sink, packet)
+        else:
+            self.sink(packet)

@@ -1,0 +1,138 @@
+"""Hosts: NICs, a serialised CPU, and protocol demultiplexing.
+
+A :class:`Host` is where the transport stacks live.  Transports register as
+protocol handlers; inbound packets are charged receive CPU (via
+:class:`HostCPU`, which serialises work like a real single core) and then
+demultiplexed by protocol; outbound packets are charged send CPU and routed
+out of the NIC owning the packet's source address.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..simkernel import Kernel
+from .costmodel import CostModel
+from .nic import NIC
+from .packet import Packet
+
+
+class HostCPU:
+    """A single serialised execution resource.
+
+    ``execute`` queues work FIFO behind whatever the CPU is already doing;
+    this is what makes per-message stack costs visible as throughput (the
+    ping-pong sender cannot push packet N+1 while still checksumming N).
+    """
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._busy_until = 0
+        self.total_busy_ns = 0
+
+    def execute(self, cost_ns: int, fn: Callable, *args: Any) -> int:
+        """Run ``fn(*args)`` after ``cost_ns`` of CPU, FIFO-serialised.
+
+        Returns the virtual time at which the work completes.
+        """
+        if cost_ns < 0:
+            raise ValueError(f"negative CPU cost: {cost_ns}")
+        start = max(self.kernel.now, self._busy_until)
+        done = start + cost_ns
+        self._busy_until = done
+        self.total_busy_ns += cost_ns
+        if done == self.kernel.now:
+            fn(*args)
+        else:
+            self.kernel.call_at(done, fn, *args)
+        return done
+
+    def charge(self, cost_ns: int) -> int:
+        """Account CPU time without attaching a callback."""
+        return self.execute(cost_ns, _noop)
+
+
+def _noop() -> None:
+    return None
+
+
+class Host:
+    """A cluster node: interfaces + CPU + registered transport handlers."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.cost_model = cost_model or CostModel()
+        self.cpu = HostCPU(kernel)
+        self.interfaces: List[NIC] = []
+        self._handlers: Dict[str, Any] = {}
+        self.rx_packets = 0
+        self.tx_packets = 0
+        # observability taps: fn(direction, host, packet); see util.trace
+        self.taps: List[Callable[[str, "Host", Packet], None]] = []
+
+    # -- interfaces ------------------------------------------------------
+    def add_interface(self, nic: NIC) -> NIC:
+        """Attach a NIC; the first attached NIC is the primary address."""
+        nic.host = self
+        self.interfaces.append(nic)
+        return nic
+
+    def addresses(self) -> List[str]:
+        """All local addresses, primary first."""
+        return [nic.addr for nic in self.interfaces]
+
+    @property
+    def primary_address(self) -> str:
+        """The address of the first (primary) interface."""
+        if not self.interfaces:
+            raise RuntimeError(f"host {self.name} has no interfaces")
+        return self.interfaces[0].addr
+
+    def nic_for(self, addr: str) -> NIC:
+        """The NIC bound to ``addr`` (falls back to the primary NIC)."""
+        for nic in self.interfaces:
+            if nic.addr == addr:
+                return nic
+        return self.interfaces[0]
+
+    # -- protocol handlers -------------------------------------------------
+    def register_protocol(self, proto: str, handler: Any) -> None:
+        """Install the object whose ``.receive(packet)`` gets ``proto`` input."""
+        if proto in self._handlers:
+            raise ValueError(f"host {self.name}: protocol {proto} already registered")
+        self._handlers[proto] = handler
+
+    def protocol_handler(self, proto: str) -> Any:
+        """Look up a previously registered handler."""
+        return self._handlers[proto]
+
+    # -- data path ---------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Transmit ``packet`` out of the NIC owning ``packet.src``,
+        charging the protocol's per-packet send CPU first."""
+        nic = self.nic_for(packet.src)
+        cost = self.cost_model.packet_send_cost(packet.proto, packet.wire_size)
+        self.tx_packets += 1
+        for tap in self.taps:
+            tap("tx", self, packet)
+        self.cpu.execute(cost, nic.send, packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Ingress path: charge receive CPU, then demux to the transport."""
+        handler = self._handlers.get(packet.proto)
+        if handler is None:
+            return  # no listener: silently dropped, like an unhandled proto
+        self.rx_packets += 1
+        for tap in self.taps:
+            tap("rx", self, packet)
+        cost = self.cost_model.packet_recv_cost(packet.proto, packet.wire_size)
+        self.cpu.execute(cost, handler.receive, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.name} {self.addresses()}>"

@@ -1,0 +1,79 @@
+"""Unidirectional link: serialisation + propagation + drop-tail FIFO.
+
+A transmitter can only push one packet onto the wire at a time; packets
+that arrive while the transmitter is busy wait in a byte-bounded queue and
+are dropped (tail drop) when it overflows.  Propagation is a pure delay, so
+multiple packets can be in flight simultaneously.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..simkernel import Kernel, tx_time_ns
+from .packet import Packet
+
+Sink = Callable[[Packet], None]
+
+
+class Link:
+    """One direction of a cable; create two for full duplex."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        bandwidth_bps: int,
+        prop_delay_ns: int,
+        queue_bytes: int = 512 * 1024,
+        sink: Optional[Sink] = None,
+    ) -> None:
+        if prop_delay_ns < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.kernel = kernel
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.queue_bytes = queue_bytes
+        self.sink = sink
+        self._ready_at = 0  # virtual time the transmitter becomes idle
+        self._queued_bytes = 0
+        # statistics
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+
+    def connect(self, sink: Sink) -> None:
+        """Attach the receiving end (host NIC ingress or switch port)."""
+        self.sink = sink
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes currently waiting for (or occupying) the transmitter."""
+        return self._queued_bytes
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet``; returns False if tail-dropped."""
+        if self.sink is None:
+            raise RuntimeError(f"link {self.name} has no sink connected")
+        if self._queued_bytes + packet.wire_size > self.queue_bytes:
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.wire_size
+            return False
+        self._queued_bytes += packet.wire_size
+        now = self.kernel.now
+        start = max(now, self._ready_at)
+        done = start + tx_time_ns(packet.wire_size, self.bandwidth_bps)
+        self._ready_at = done
+        self.tx_packets += 1
+        self.tx_bytes += packet.wire_size
+        self.kernel.call_at(done, self._tx_complete, packet)
+        return True
+
+    def _tx_complete(self, packet: Packet) -> None:
+        self._queued_bytes -= packet.wire_size
+        if self.prop_delay_ns:
+            self.kernel.call_after(self.prop_delay_ns, self.sink, packet)
+        else:
+            self.sink(packet)

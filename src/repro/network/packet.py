@@ -1,0 +1,43 @@
+"""The simulator's datagram.
+
+A :class:`Packet` stands for one IP datagram on the wire.  Its ``payload``
+is the transport protocol's PDU object (a TCP segment or an SCTP packet of
+chunks); ``wire_size`` is the number of bytes the datagram would occupy on
+the link including all headers, which is what links/queues/loss act on.
+Actual user bytes are never stored in packets — transports use a ledger
+scheme (see ``repro.transport``) so data is only *readable* once the
+protocol has legitimately delivered it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_packet_ids = itertools.count(1)
+
+IP_HEADER = 20
+
+
+@dataclass
+class Packet:
+    """One simulated IP datagram."""
+
+    src: str
+    dst: str
+    proto: str  # "tcp" | "sctp" (plus anything tests register)
+    payload: Any
+    wire_size: int  # total on-wire bytes including IP + transport headers
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.wire_size <= 0:
+            raise ValueError(f"packet must occupy wire bytes, got {self.wire_size}")
+
+    def describe(self) -> str:
+        """Short human-readable trace line for logging/tests."""
+        return (
+            f"#{self.pkt_id} {self.proto} {self.src}->{self.dst} "
+            f"{self.wire_size}B {self.payload!r}"
+        )

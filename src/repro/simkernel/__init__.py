@@ -1,0 +1,42 @@
+"""Deterministic virtual-time discrete-event kernel.
+
+This package is the foundation every other subsystem (network links,
+transport protocol timers, MPI processes) runs on.  It provides:
+
+* :class:`~repro.simkernel.kernel.Kernel` -- the event loop with an integer
+  nanosecond clock and cancellable timers,
+* :class:`~repro.simkernel.futures.Future` / :class:`~repro.simkernel.futures.Task`
+  -- asyncio-like primitives driven by the virtual clock instead of wall time,
+* synchronisation helpers (:func:`~repro.simkernel.sync.wait_all`,
+  :func:`~repro.simkernel.sync.wait_any`, :class:`~repro.simkernel.sync.AsyncEvent`,
+  :class:`~repro.simkernel.sync.AsyncQueue`),
+* unit helpers for time and bandwidth arithmetic.
+
+Determinism rules: time is integral (ns), ties are broken by insertion
+sequence number, and every stochastic component draws from a named RNG
+stream derived from the kernel seed (``kernel.rng("link.loss.h0")``), so a
+simulation is a pure function of its configuration and seed.
+"""
+
+from .futures import CancelledError, Future, Task
+from .kernel import Kernel, Timer
+from .sync import AsyncEvent, AsyncQueue, wait_all, wait_any
+from .units import GBIT_PER_S, MBIT_PER_S, MICROSECOND, MILLISECOND, SECOND, tx_time_ns
+
+__all__ = [
+    "AsyncEvent",
+    "AsyncQueue",
+    "CancelledError",
+    "Future",
+    "GBIT_PER_S",
+    "Kernel",
+    "MBIT_PER_S",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "Task",
+    "Timer",
+    "tx_time_ns",
+    "wait_all",
+    "wait_any",
+]

@@ -1,0 +1,158 @@
+"""The virtual-time event loop.
+
+A :class:`Kernel` owns the clock (integer nanoseconds), a binary heap of
+timers, and the root of every named RNG stream.  It is single-threaded and
+fully deterministic: two runs with the same configuration and seed produce
+identical event sequences.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import random
+from typing import Any, Callable, Coroutine, Iterable, Optional
+
+from .futures import Future, Task
+
+
+class Timer:
+    """Handle for a scheduled callback; supports O(1) cancellation."""
+
+    __slots__ = ("when", "fn", "args", "cancelled")
+
+    def __init__(self, when: int, fn: Callable, args: tuple) -> None:
+        self.when = when
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (no-op if already fired)."""
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+
+
+class Kernel:
+    """Discrete-event loop with an integer nanosecond virtual clock."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._now = 0
+        self._heap: list[tuple[int, int, Timer]] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._tasks: list[Task] = []
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds since simulation start."""
+        return self._now
+
+    # -- randomness ------------------------------------------------------
+    def rng(self, label: str) -> random.Random:
+        """A reproducible RNG stream named ``label``.
+
+        The stream seed is a stable hash of ``(kernel seed, label)`` so
+        adding a new consumer never perturbs existing streams.
+        """
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    # -- scheduling ------------------------------------------------------
+    def call_at(self, when: int, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        timer = Timer(when, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, timer))
+        return timer
+
+    def call_after(self, delay: int, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def sleep(self, delay: int) -> Future:
+        """Future that completes ``delay`` ns from now (``await kernel.sleep(d)``)."""
+        fut = Future(name=f"sleep@{self._now}+{delay}")
+        self.call_after(delay, fut.set_result, None)
+        return fut
+
+    def spawn(self, coro: Coroutine, name: str = "") -> Task:
+        """Wrap a coroutine into a task and start it immediately."""
+        task = Task(coro, name=name)
+        self._tasks.append(task)
+        task.start()
+        return task
+
+    # -- running ---------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the heap drains, ``until`` is reached, or
+        ``max_events`` fire.  Returns the number of events processed."""
+        processed = 0
+        while self._heap:
+            when, _, timer = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = when
+            fn, args = timer.fn, timer.args
+            timer.fn, timer.args = None, ()  # break refcycles early
+            fn(*args)
+            processed += 1
+            self._events_processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return processed
+
+    def run_until(self, fut: Future, limit: Optional[int] = None) -> Any:
+        """Run until ``fut`` completes; raise if the simulation stalls first."""
+        while not fut.done():
+            if not self._heap:
+                raise DeadlockError(
+                    f"event heap drained at t={self._now}ns but {fut!r} is still "
+                    "pending (simulation deadlock)"
+                )
+            if limit is not None and self._heap[0][0] > limit:
+                raise TimeoutError(
+                    f"{fut!r} still pending at virtual time limit {limit}ns"
+                )
+            self.run(max_events=1)
+        return fut.result()
+
+    @property
+    def events_processed(self) -> int:
+        """Total events fired over the kernel's lifetime (for diagnostics)."""
+        return self._events_processed
+
+    def pending_events(self) -> int:
+        """Live (non-cancelled) timers still queued."""
+        return sum(1 for _, _, t in self._heap if not t.cancelled)
+
+    def failed_tasks(self) -> Iterable[Task]:
+        """Tasks that completed with an exception (useful in test asserts)."""
+        return [
+            t
+            for t in self._tasks
+            if t.done() and not t.cancelled() and t.exception() is not None
+        ]
+
+    def check_tasks(self) -> None:
+        """Re-raise the first exception stored in any spawned task."""
+        for task in self.failed_tasks():
+            raise task.exception()
+
+
+class DeadlockError(RuntimeError):
+    """The event heap drained while some awaited future was still pending."""

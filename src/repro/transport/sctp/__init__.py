@@ -1,0 +1,59 @@
+"""From-scratch SCTP (RFC 2960/4960, KAME personality).
+
+Everything the paper relies on is here:
+
+* four-way handshake with a signed, time-limited state cookie (no server
+  state until COOKIE-ECHO — SYN-flood immunity, §3.5.2),
+* verification tags on every packet (blind-injection/reset protection),
+* message orientation with fragmentation (B/E bits) and bundling,
+* multistreaming: TSN transmission sequencing + per-stream SSN ordering,
+  so streams deliver independently (the paper's HOL-blocking cure),
+* SACK with *unlimited* gap-ack blocks (vs TCP's 3), delayed-SACK rules,
+* byte-counted congestion control with the full-PMTU-on-1-byte rule and
+  slow start entered whenever cwnd <= ssthresh (§4.1.1's list),
+* multihoming: per-destination cwnd/RTO, heartbeats, failover, and
+  retransmissions directed to an alternate active path,
+* one-to-one and one-to-many socket styles, autoclose, and no half-close.
+"""
+
+from .association import Association, SCTPConfig
+from .chunks import (
+    AbortChunk,
+    CookieAckChunk,
+    CookieEchoChunk,
+    DataChunk,
+    HeartbeatAckChunk,
+    HeartbeatChunk,
+    InitAckChunk,
+    InitChunk,
+    SackChunk,
+    SCTPPacket,
+    ShutdownAckChunk,
+    ShutdownChunk,
+    ShutdownCompleteChunk,
+)
+from .endpoint import SCTPEndpoint
+from .socket import MessageTooBig, OneToManySocket, OneToOneSocket, ReceivedMessage
+
+__all__ = [
+    "AbortChunk",
+    "Association",
+    "CookieAckChunk",
+    "CookieEchoChunk",
+    "DataChunk",
+    "HeartbeatAckChunk",
+    "HeartbeatChunk",
+    "InitAckChunk",
+    "InitChunk",
+    "MessageTooBig",
+    "OneToManySocket",
+    "OneToOneSocket",
+    "ReceivedMessage",
+    "SackChunk",
+    "SCTPConfig",
+    "SCTPEndpoint",
+    "SCTPPacket",
+    "ShutdownAckChunk",
+    "ShutdownChunk",
+    "ShutdownCompleteChunk",
+]

@@ -1,0 +1,1055 @@
+"""The SCTP association state machine.
+
+One :class:`Association` is one end of an SCTP conversation: handshake
+(client legs; the server side is constructed from a validated cookie by
+the endpoint), TSN-based reliable transfer with SACK/gap-ack recovery,
+per-path congestion control and T3 retransmission timers, multihomed
+failover with heartbeats, graceful shutdown and abort.
+
+Design choices that matter for the paper's results:
+
+* **Unlimited gap-ack blocks** — the receiver reports every hole; the
+  sender's fast retransmit therefore repairs multi-loss windows without
+  waiting for timeouts (Table 1's loss results).
+* **Retransmissions prefer an alternate active path** when one exists
+  (§4.1.1, final bullet), falling back to the same path when single-homed.
+* **Stream-independent delivery** — see :mod:`.streams`.
+* **Timeout personality** — KAME fine-grained timers (RTO.Min = 1 s), vs
+  the BSD TCP 500 ms tick quantisation in :mod:`repro.transport.tcp`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ...network.packet import IP_HEADER, Packet
+from ...simkernel import MILLISECOND, SECOND, Timer
+from ...util.blobs import Blob
+from ..base import KAME_SCTP_TIMERS, TimerPersonality
+from .chunks import (
+    AbortChunk,
+    Chunk,
+    CookieAckChunk,
+    CookieEchoChunk,
+    COMMON_HEADER,
+    DataChunk,
+    HeartbeatAckChunk,
+    HeartbeatChunk,
+    InitAckChunk,
+    InitChunk,
+    SackChunk,
+    SCTPPacket,
+    ShutdownAckChunk,
+    ShutdownChunk,
+    ShutdownCompleteChunk,
+    StateCookie,
+)
+from .paths import ACTIVE, PathState
+from .streams import InboundStreams, OutboundStreams
+
+# association states
+CLOSED = "CLOSED"
+COOKIE_WAIT = "COOKIE_WAIT"
+COOKIE_ECHOED = "COOKIE_ECHOED"
+ESTABLISHED = "ESTABLISHED"
+SHUTDOWN_PENDING = "SHUTDOWN_PENDING"
+SHUTDOWN_SENT = "SHUTDOWN_SENT"
+SHUTDOWN_RECEIVED = "SHUTDOWN_RECEIVED"
+SHUTDOWN_ACK_SENT = "SHUTDOWN_ACK_SENT"
+
+
+@dataclass(frozen=True)
+class SCTPConfig:
+    """Tunables; defaults match the paper's setup (220 KiB buffers, 10
+    streams, SACK, KAME timer behaviour)."""
+
+    pmtu: int = 1500
+    sndbuf: int = 220 * 1024
+    rcvbuf: int = 220 * 1024
+    n_out_streams: int = 10
+    n_in_streams: int = 10
+    sack_delay_ns: int = 200 * MILLISECOND
+    sack_every_packets: int = 2
+    dupthresh: int = 3  # missing reports before fast retransmit
+    timers: TimerPersonality = KAME_SCTP_TIMERS
+    path_max_retrans: int = 5
+    assoc_max_retrans: int = 10
+    max_init_retrans: int = 8
+    cookie_lifetime_ns: int = 60 * SECOND
+    heartbeat_interval_ns: int = 30 * SECOND
+    autoclose_ns: int = 0  # 0 disables (the paper's autoclose option)
+    retransmit_to_alternate: bool = True
+    # Concurrent Multipath Transfer (the paper's §5 future work, after
+    # Iyengar et al. [13,14]): stripe *new* data across every ACTIVE path
+    # concurrently.  Striking then uses per-path highest-TSN-newly-acked
+    # ("split fast retransmit"), since cross-path reordering would
+    # otherwise trigger constant spurious fast retransmits.
+    cmt: bool = False
+
+    @property
+    def chunk_payload_budget(self) -> int:
+        """Max user bytes in a single DATA chunk of a full packet."""
+        return self.pmtu - IP_HEADER - COMMON_HEADER - 16
+
+    @property
+    def packet_chunk_budget(self) -> int:
+        """Chunk bytes (headers included) that fit in one packet."""
+        return self.pmtu - IP_HEADER - COMMON_HEADER
+
+    @property
+    def max_message_size(self) -> int:
+        """sctp_sendmsg limit: one message must fit the send buffer
+        (paper §3.4/§3.6 — this is why the middleware re-fragments)."""
+        return self.sndbuf
+
+
+@dataclass
+class TxRecord:
+    """Book-keeping for one outstanding DATA chunk."""
+
+    chunk: DataChunk
+    path_addr: str
+    sent_at_ns: int
+    transmit_count: int = 1
+    gap_acked: bool = False
+    missing_reports: int = 0
+    marked_for_rtx: bool = False
+
+
+@dataclass
+class AssocStats:
+    """Counters for tests and benchmark diagnostics."""
+
+    data_chunks_sent: int = 0
+    data_chunks_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    retransmitted_chunks: int = 0
+    fast_retransmits: int = 0
+    rto_events: int = 0
+    sacks_sent: int = 0
+    sacks_received: int = 0
+    duplicate_tsns: int = 0
+    packets_sent: int = 0
+    messages_delivered: int = 0
+    failovers: int = 0
+
+
+class Association:
+    """One end of an SCTP association."""
+
+    def __init__(
+        self,
+        endpoint,
+        local_port: int,
+        peer_addr: str,
+        peer_port: int,
+        config: Optional[SCTPConfig] = None,
+        assoc_id: int = 0,
+    ) -> None:
+        self.endpoint = endpoint
+        self.kernel = endpoint.kernel
+        self.host = endpoint.host
+        self.local_port = local_port
+        self.peer_port = peer_port
+        self.config = config or SCTPConfig()
+        self.assoc_id = assoc_id
+        self.state = CLOSED
+        self.stats = AssocStats()
+
+        rng = endpoint.tag_rng
+        self.my_vtag = rng.randrange(1, 1 << 32)  # peer puts this in packets to us
+        self.peer_vtag = 0  # learned from INIT/INIT-ACK
+        self.my_initial_tsn = rng.randrange(1, 1 << 30)
+
+        # paths: peer primary first; more learned during handshake
+        self.paths: "OrderedDict[str, PathState]" = OrderedDict()
+        self.primary_addr = peer_addr
+        self._add_path(peer_addr)
+
+        # sender
+        self.next_tsn = self.my_initial_tsn
+        self.outbound = OutboundStreams(self.config.n_out_streams)
+        self.send_queue: Deque[DataChunk] = deque()
+        self.queued_bytes = 0
+        self.outstanding: "OrderedDict[int, TxRecord]" = OrderedDict()
+        self.outstanding_bytes = 0
+        self.peer_rwnd = self.config.rcvbuf  # replaced at handshake
+        self.cum_tsn_acked = self.my_initial_tsn - 1
+        self._t3_timers: Dict[str, Timer] = {}
+        self._rtt_probe: Dict[str, Tuple[int, int]] = {}  # addr -> (tsn, sent_at)
+        self._next_window_probe_ns = 0  # zero-window probes are RTO-paced
+        self._assoc_error_count = 0
+        self._init_retries = 0
+        self._t1_timer: Optional[Timer] = None
+
+        # receiver
+        self.peer_initial_tsn = 0
+        self.rcv_cum_tsn = 0
+        self._received_above_cum: set = set()
+        self.inbound: Optional[InboundStreams] = None
+        self._owner_buffered = 0  # delivered to socket, not yet read by app
+        self._packets_since_sack = 0
+        self._sack_timer: Optional[Timer] = None
+        self._dups_since_sack = 0
+        # RFC 4960 §6.4: replies go to the source of the packet that
+        # triggered them, so SACKs keep flowing after a path failure
+        self._last_data_src: Optional[str] = None
+
+        # other timers
+        self._t2_timer: Optional[Timer] = None
+        self._hb_timers: Dict[str, Timer] = {}
+        self._hb_pending: Dict[str, int] = {}  # addr -> nonce awaiting ack
+        self._autoclose_timer: Optional[Timer] = None
+        self._nonce = 0
+        self._shutdown_requested = False
+        self._cookie: Optional[StateCookie] = None
+
+        # owner (socket) hooks
+        self.on_established = _noop
+        self.on_message = _noop1  # fn(AssembledMessage)
+        self.on_writable = _noop
+        self.on_closed = _noop1  # fn(error | None)
+
+    # ------------------------------------------------------------------
+    # establishment
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        """Client-side active open: send INIT, await the 4-way handshake."""
+        if self.state != CLOSED:
+            raise RuntimeError(f"connect() in state {self.state}")
+        self.state = COOKIE_WAIT
+        self._send_init()
+
+    def _send_init(self) -> None:
+        init = InitChunk(
+            init_tag=self.my_vtag,
+            a_rwnd=self.config.rcvbuf,
+            n_out_streams=self.config.n_out_streams,
+            n_in_streams=self.config.n_in_streams,
+            initial_tsn=self.my_initial_tsn,
+            addresses=tuple(self.host.addresses()),
+        )
+        # INIT goes with vtag 0: the peer has no tag for us yet
+        self._transmit_chunks([init], self.primary_addr, vtag=0)
+        self._arm_t1()
+
+    def _establish_from_init_ack(self, chunk: InitAckChunk, src_addr: str) -> None:
+        self.peer_vtag = chunk.init_tag
+        self.peer_rwnd = chunk.a_rwnd
+        self.peer_initial_tsn = chunk.initial_tsn
+        self.rcv_cum_tsn = chunk.initial_tsn - 1
+        n_out = min(self.config.n_out_streams, chunk.n_in_streams)
+        n_in = min(self.config.n_in_streams, chunk.n_out_streams)
+        self.outbound = OutboundStreams(max(1, n_out))
+        self.inbound = InboundStreams(max(1, n_in))
+        for addr in chunk.addresses:
+            self._add_path(addr)
+        self.endpoint.register_association(self, chunk.addresses)
+        self.state = COOKIE_ECHOED
+        self._cancel_t1()
+        self._cookie = chunk.cookie
+        self._send_cookie_echo()
+
+    def _send_cookie_echo(self) -> None:
+        chunks: List[Chunk] = [CookieEchoChunk(self._cookie)]
+        # user data may ride legs 3 and 4 of the handshake (§3.5.2)
+        budget = self.config.packet_chunk_budget - chunks[0].wire_size()
+        chunks.extend(self._dequeue_for_bundle(budget, self.primary_addr))
+        self._transmit_chunks(chunks, self.primary_addr)
+        self._arm_t1()
+
+    @classmethod
+    def from_cookie(
+        cls,
+        endpoint,
+        cookie: StateCookie,
+        config: Optional[SCTPConfig] = None,
+        assoc_id: int = 0,
+    ) -> "Association":
+        """Server-side TCB creation from a validated COOKIE-ECHO."""
+        assoc = cls(
+            endpoint,
+            local_port=cookie.local_port,
+            peer_addr=cookie.peer_addr,
+            peer_port=cookie.peer_port,
+            config=config,
+            assoc_id=assoc_id,
+        )
+        assoc.my_vtag = cookie.my_init_tag
+        assoc.peer_vtag = cookie.peer_init_tag
+        assoc.my_initial_tsn = cookie.my_initial_tsn
+        assoc.next_tsn = cookie.my_initial_tsn
+        assoc.cum_tsn_acked = cookie.my_initial_tsn - 1
+        assoc.peer_initial_tsn = cookie.peer_initial_tsn
+        assoc.rcv_cum_tsn = cookie.peer_initial_tsn - 1
+        assoc.peer_rwnd = cookie.peer_a_rwnd
+        assoc.outbound = OutboundStreams(max(1, cookie.n_out_streams))
+        assoc.inbound = InboundStreams(max(1, cookie.n_in_streams))
+        for addr in cookie.peer_addresses:
+            assoc._add_path(addr)
+        assoc.state = ESTABLISHED
+        assoc._start_heartbeats()
+        return assoc
+
+    def _add_path(self, addr: str) -> None:
+        if addr in self.paths:
+            return
+        self.paths[addr] = PathState(
+            addr,
+            mtu_payload=self.config.chunk_payload_budget,
+            initial_peer_rwnd=self.config.rcvbuf,
+            timers=self.config.timers,
+            path_max_retrans=self.config.path_max_retrans,
+        )
+
+    # ------------------------------------------------------------------
+    # application sending
+    # ------------------------------------------------------------------
+    def send_message(
+        self, sid: int, payload: Blob, unordered: bool = False, ppid: int = 0
+    ) -> bool:
+        """Queue one user message; False when the send buffer is full.
+
+        Raises ``ValueError`` for messages above the sctp_sendmsg limit
+        (the send buffer size) — middleware must split those itself.
+        """
+        if self.state in (
+            SHUTDOWN_PENDING,
+            SHUTDOWN_SENT,
+            SHUTDOWN_RECEIVED,
+            SHUTDOWN_ACK_SENT,
+        ):
+            raise BrokenPipeError(f"send in state {self.state}")
+        if payload.nbytes > self.config.max_message_size:
+            raise ValueError(
+                f"message of {payload.nbytes} bytes exceeds the sctp_sendmsg "
+                f"limit of {self.config.max_message_size} (the send buffer)"
+            )
+        if self.queued_bytes + self.outstanding_bytes + payload.nbytes > self.config.sndbuf:
+            return False
+        ssn = 0 if unordered else self.outbound.next_ssn(sid)
+        budget = self.config.chunk_payload_budget
+        nbytes = payload.nbytes
+        offset = 0
+        first = True
+        while True:
+            remaining = nbytes - offset
+            take = min(budget, remaining)
+            fragment = payload.slice(offset, offset + take)
+            offset += take
+            last = offset >= nbytes
+            self.send_queue.append(
+                DataChunk(
+                    tsn=self.next_tsn,
+                    sid=sid,
+                    ssn=ssn,
+                    payload=fragment,
+                    begin=first,
+                    end=last,
+                    unordered=unordered,
+                    ppid=ppid,
+                )
+            )
+            self.next_tsn += 1
+            self.queued_bytes += take
+            first = False
+            if last:
+                break
+        self._touch_autoclose()
+        if self.state == ESTABLISHED:
+            self._try_send()
+        return True
+
+    def sndbuf_free(self) -> int:
+        """Free send-buffer space in bytes."""
+        return max(0, self.config.sndbuf - self.queued_bytes - self.outstanding_bytes)
+
+    def credit_receive_buffer(self, nbytes: int) -> None:
+        """The socket read ``nbytes`` of delivered data; re-open the rwnd."""
+        before = self._a_rwnd()
+        self._owner_buffered -= nbytes
+        if self._owner_buffered < 0:
+            raise RuntimeError("receive-buffer credit underflow")
+        # window-update SACK: if the window was essentially closed and has
+        # now meaningfully re-opened, tell the peer (it may be stalled)
+        budget = self.config.chunk_payload_budget
+        if (
+            self.state == ESTABLISHED
+            and before < budget
+            and self._a_rwnd() >= 2 * budget
+        ):
+            self._send_sack()
+
+    # ------------------------------------------------------------------
+    # transmission machinery
+    # ------------------------------------------------------------------
+    def _active_path(self) -> Optional[PathState]:
+        primary = self.paths.get(self.primary_addr)
+        if primary is not None and primary.state == ACTIVE:
+            return primary
+        for path in self.paths.values():
+            if path.state == ACTIVE:
+                return path
+        return primary  # nothing active: keep trying the primary
+
+    def _alternate_path(self, avoid_addr: str) -> Optional[PathState]:
+        for addr, path in self.paths.items():
+            if addr != avoid_addr and path.state == ACTIVE:
+                return path
+        return None
+
+    def _dequeue_for_bundle(self, budget: int, path_addr: str) -> List[DataChunk]:
+        """Pop queued DATA chunks that fit ``budget`` bytes, registering
+        them as outstanding on ``path_addr``."""
+        chunks: List[DataChunk] = []
+        path = self.paths[path_addr]
+        while self.send_queue:
+            head = self.send_queue[0]
+            if head.wire_size() > budget:
+                break
+            if self.peer_rwnd < head.payload.nbytes:
+                if self.outstanding_bytes > 0 or chunks:
+                    break  # window closed: at most one probe chunk in flight
+                if self.kernel.now < self._next_window_probe_ns:
+                    # zero-window probes are paced by the RTO: retry later
+                    self.kernel.call_at(
+                        self._next_window_probe_ns, self._try_send
+                    )
+                    break
+                self._next_window_probe_ns = self.kernel.now + path.rto.rto_ns
+            self.send_queue.popleft()
+            chunks.append(head)
+            budget -= head.wire_size()
+            size = head.payload.nbytes
+            self.queued_bytes -= size
+            self.outstanding[head.tsn] = TxRecord(
+                chunk=head,
+                path_addr=path_addr,
+                sent_at_ns=self.kernel.now,
+            )
+            self.outstanding_bytes += size
+            path.outstanding_bytes += size
+            path.bytes_sent += size
+            self.peer_rwnd = max(0, self.peer_rwnd - size)
+            self.stats.data_chunks_sent += 1
+            self.stats.bytes_sent += size
+            if path.outstanding_bytes >= path.cwnd:
+                break
+        if chunks and path_addr not in self._rtt_probe:
+            self._rtt_probe[path_addr] = (chunks[-1].tsn, self.kernel.now)
+        return chunks
+
+    def _active_paths(self) -> List[PathState]:
+        """Every ACTIVE destination (CMT stripes new data over all)."""
+        return [p for p in self.paths.values() if p.state == ACTIVE]
+
+    def _try_send(self) -> None:
+        if self.state not in (ESTABLISHED, SHUTDOWN_PENDING, SHUTDOWN_RECEIVED):
+            return
+        if self.config.cmt:
+            self._try_send_cmt()
+            self._maybe_send_shutdown()
+            return
+        path = self._active_path()
+        if path is None:
+            return
+        while self.send_queue and path.can_send():
+            if self.peer_rwnd <= 0 and self.outstanding_bytes > 0:
+                break
+            chunks: List[Chunk] = []
+            if self._sack_is_pending():
+                chunks.append(self._build_sack())
+            budget = self.config.packet_chunk_budget - sum(
+                c.wire_size() for c in chunks
+            )
+            data = self._dequeue_for_bundle(budget, path.addr)
+            if not data:
+                if chunks:
+                    # a pending SACK left no room for a full-size chunk:
+                    # send it alone and retry with the whole packet budget
+                    self._transmit_chunks(chunks, path.addr)
+                    continue
+                break
+            chunks.extend(data)
+            self._transmit_chunks(chunks, path.addr)
+            self._arm_t3(path.addr)
+        self._maybe_send_shutdown()
+
+    def _try_send_cmt(self) -> None:
+        """CMT transmission: round-robin packets over every active path
+        with congestion-window room."""
+        progress = True
+        while self.send_queue and progress:
+            progress = False
+            for path in self._active_paths():
+                if not self.send_queue:
+                    break
+                if not path.can_send():
+                    continue
+                if self.peer_rwnd <= 0 and self.outstanding_bytes > 0:
+                    return
+                chunks: List[Chunk] = []
+                if self._sack_is_pending():
+                    chunks.append(self._build_sack())
+                budget = self.config.packet_chunk_budget - sum(
+                    c.wire_size() for c in chunks
+                )
+                data = self._dequeue_for_bundle(budget, path.addr)
+                if not data:
+                    if chunks:
+                        self._transmit_chunks(chunks, path.addr)
+                    continue
+                chunks.extend(data)
+                self._transmit_chunks(chunks, path.addr)
+                self._arm_t3(path.addr)
+                progress = True
+
+    def _transmit_chunks(self, chunks: List[Chunk], dest_addr: str, vtag=None) -> None:
+        pkt = SCTPPacket(
+            src_port=self.local_port,
+            dst_port=self.peer_port,
+            vtag=self.peer_vtag if vtag is None else vtag,
+            chunks=tuple(chunks),
+        )
+        src = self._source_for(dest_addr)
+        self.stats.packets_sent += 1
+        self.host.send(
+            Packet(
+                src=src, dst=dest_addr, proto="sctp", payload=pkt,
+                wire_size=pkt.wire_size(),
+            )
+        )
+
+    def _source_for(self, dest_addr: str) -> str:
+        """Pick the local address on the same subnet as the destination."""
+        dest_net = dest_addr.rsplit(".", 1)[0]
+        for addr in self.host.addresses():
+            if addr.rsplit(".", 1)[0] == dest_net:
+                return addr
+        return self.host.primary_address
+
+    # ------------------------------------------------------------------
+    # packet input (called by the endpoint after vtag validation)
+    # ------------------------------------------------------------------
+    def on_packet(self, pkt: SCTPPacket, src_addr: str) -> None:
+        """Process every chunk of one inbound packet."""
+        self._touch_autoclose()
+        has_data = False
+        for chunk in pkt.chunks:
+            if isinstance(chunk, DataChunk):
+                self._on_data(chunk)
+                self._last_data_src = src_addr
+                has_data = True
+            elif isinstance(chunk, SackChunk):
+                self._on_sack(chunk, src_addr)
+            elif isinstance(chunk, InitAckChunk):
+                if self.state == COOKIE_WAIT:
+                    self._establish_from_init_ack(chunk, src_addr)
+            elif isinstance(chunk, CookieEchoChunk):
+                if self.state == ESTABLISHED:
+                    # retransmitted COOKIE-ECHO: our COOKIE-ACK was lost
+                    self._transmit_chunks([CookieAckChunk()], src_addr)
+            elif isinstance(chunk, CookieAckChunk):
+                if self.state == COOKIE_ECHOED:
+                    self.state = ESTABLISHED
+                    self._cancel_t1()
+                    self._start_heartbeats()
+                    self.on_established()
+                    self._try_send()
+            elif isinstance(chunk, HeartbeatChunk):
+                self._transmit_chunks(
+                    [HeartbeatAckChunk(chunk.dest_addr, chunk.sent_at_ns, chunk.nonce)],
+                    src_addr,
+                )
+            elif isinstance(chunk, HeartbeatAckChunk):
+                self._on_heartbeat_ack(chunk)
+            elif isinstance(chunk, ShutdownChunk):
+                self._on_shutdown(chunk, src_addr)
+            elif isinstance(chunk, ShutdownAckChunk):
+                self._on_shutdown_ack(src_addr)
+            elif isinstance(chunk, ShutdownCompleteChunk):
+                self._teardown(None)
+            elif isinstance(chunk, AbortChunk):
+                self._teardown(f"aborted by peer: {chunk.reason}")
+                return
+        if has_data:
+            self._sack_policy()
+
+    # -- receiver side ----------------------------------------------------
+    def _on_data(self, chunk: DataChunk) -> None:
+        if self.inbound is None:
+            return
+        tsn = chunk.tsn
+        if tsn <= self.rcv_cum_tsn or tsn in self._received_above_cum:
+            self.stats.duplicate_tsns += 1
+            self._dups_since_sack += 1
+            return
+        self.stats.data_chunks_received += 1
+        self.stats.bytes_received += chunk.payload.nbytes
+        self._received_above_cum.add(tsn)
+        while (self.rcv_cum_tsn + 1) in self._received_above_cum:
+            self.rcv_cum_tsn += 1
+            self._received_above_cum.discard(self.rcv_cum_tsn)
+        for message in self.inbound.on_data(chunk):
+            self._owner_buffered += message.nbytes
+            self.stats.messages_delivered += 1
+            self.on_message(message)
+
+    def _sack_policy(self) -> None:
+        self._packets_since_sack += 1
+        out_of_order = bool(self._received_above_cum)
+        if out_of_order or self._dups_since_sack:
+            self._send_sack()  # report gaps/dups immediately (RFC 4960 §6.7)
+        elif self._packets_since_sack >= self.config.sack_every_packets:
+            self._send_sack()
+        elif self._sack_timer is None:
+            self._sack_timer = self.kernel.call_after(
+                self.config.sack_delay_ns, self._on_sack_timer
+            )
+
+    def _on_sack_timer(self) -> None:
+        self._sack_timer = None
+        if self.state != CLOSED and self._packets_since_sack > 0:
+            self._send_sack()
+
+    def _sack_is_pending(self) -> bool:
+        return self._packets_since_sack > 0
+
+    def _gap_blocks(self) -> Tuple[Tuple[int, int], ...]:
+        if not self._received_above_cum:
+            return ()
+        blocks: List[Tuple[int, int]] = []
+        start = prev = None
+        for tsn in sorted(self._received_above_cum):
+            if start is None:
+                start = prev = tsn
+            elif tsn == prev + 1:
+                prev = tsn
+            else:
+                blocks.append((start - self.rcv_cum_tsn, prev - self.rcv_cum_tsn))
+                start = prev = tsn
+        blocks.append((start - self.rcv_cum_tsn, prev - self.rcv_cum_tsn))
+        return tuple(blocks)
+
+    def _a_rwnd(self) -> int:
+        buffered = (self.inbound.buffered_bytes if self.inbound else 0)
+        return max(0, self.config.rcvbuf - buffered - self._owner_buffered)
+
+    def _build_sack(self) -> SackChunk:
+        sack = SackChunk(
+            cum_tsn=self.rcv_cum_tsn,
+            a_rwnd=self._a_rwnd(),
+            gaps=self._gap_blocks(),
+            n_dup_tsns=self._dups_since_sack,
+        )
+        self._packets_since_sack = 0
+        self._dups_since_sack = 0
+        if self._sack_timer is not None:
+            self._sack_timer.cancel()
+            self._sack_timer = None
+        self.stats.sacks_sent += 1
+        return sack
+
+    def _send_sack(self) -> None:
+        dest = self._last_data_src
+        if dest is None:
+            path = self._active_path()
+            dest = path.addr if path is not None else self.primary_addr
+        self._transmit_chunks([self._build_sack()], dest)
+
+    # -- sender side: SACK processing -----------------------------------------
+    def _on_sack(self, sack: SackChunk, src_addr: str) -> None:
+        self.stats.sacks_received += 1
+        newly_acked: Dict[str, int] = {}
+        # "cwnd fully utilized" = no room for another full chunk; an exact
+        # >= test never fires because bursts stop one sub-MTU short
+        cwnd_was_full = {
+            addr: p.outstanding_bytes + p.mtu_payload > p.cwnd
+            for addr, p in self.paths.items()
+        }
+        cum_advanced = sack.cum_tsn > self.cum_tsn_acked
+
+        # cumulative acknowledgement
+        highest_newly_acked = None  # HTNA, RFC 4960 §7.2.4
+        htna_per_path: Dict[str, int] = {}  # CMT split fast retransmit
+        while self.outstanding:
+            tsn = next(iter(self.outstanding))
+            if tsn > sack.cum_tsn:
+                break
+            record = self.outstanding.pop(tsn)
+            self._account_acked(record, newly_acked, count_bytes=not record.gap_acked)
+            self._maybe_rtt_sample(record)
+            highest_newly_acked = tsn
+            htna_per_path[record.path_addr] = tsn
+        self.cum_tsn_acked = max(self.cum_tsn_acked, sack.cum_tsn)
+
+        # gap acknowledgements
+        gap_acked_tsns = sack.acked_tsns()
+        for tsn in gap_acked_tsns:
+            record = self.outstanding.get(tsn)
+            if record is not None and not record.gap_acked:
+                record.gap_acked = True
+                self._account_acked(record, newly_acked, count_bytes=True)
+                self._maybe_rtt_sample(record)
+                if highest_newly_acked is None or tsn > highest_newly_acked:
+                    highest_newly_acked = tsn
+                htna_per_path[record.path_addr] = max(
+                    htna_per_path.get(record.path_addr, 0), tsn
+                )
+
+        if cum_advanced:
+            self._assoc_error_count = 0
+        total_acked = sum(newly_acked.values())
+        if total_acked > 0:
+            for addr in newly_acked:
+                self.paths[addr].note_success()
+                self.paths[addr].rto.reset_backoff()
+
+        # flow control: a_rwnd minus what is still in flight
+        self.peer_rwnd = max(0, sack.a_rwnd - self.outstanding_bytes)
+
+        # missing reports -> fast retransmit.  RFC 4960 §7.2.4 (HTNA): a
+        # chunk is struck only when this SACK *newly* acknowledged a TSN
+        # above it, and never after it has already been retransmitted
+        # (retransmission loss is the timer's job) — without these rules a
+        # single hole is struck by every later SACK and retransmitted over
+        # and over, each event halving cwnd.
+        to_fast_rtx: List[TxRecord] = []
+        if highest_newly_acked is not None:
+            for tsn, record in self.outstanding.items():
+                if tsn >= highest_newly_acked:
+                    break  # outstanding is TSN-ordered
+                if (
+                    record.gap_acked
+                    or record.marked_for_rtx
+                    or record.transmit_count > 1
+                ):
+                    continue
+                if self.config.cmt:
+                    # split fast retransmit: only same-path evidence counts
+                    # (cross-path reordering is normal under CMT)
+                    path_htna = htna_per_path.get(record.path_addr)
+                    if path_htna is None or tsn >= path_htna:
+                        continue
+                record.missing_reports += 1
+                if record.missing_reports >= self.config.dupthresh:
+                    record.marked_for_rtx = True
+                    to_fast_rtx.append(record)
+        if to_fast_rtx:
+            struck_paths = {r.path_addr for r in to_fast_rtx}
+            highest_out = max(self.outstanding) if self.outstanding else self.cum_tsn_acked
+            for addr in struck_paths:
+                self.paths[addr].on_fast_retransmit(highest_out)
+            self.stats.fast_retransmits += 1
+            self._retransmit_marked()
+
+        # congestion window growth
+        for addr, acked in newly_acked.items():
+            self.paths[addr].on_bytes_acked(acked, cwnd_was_full[addr])
+        for path in self.paths.values():
+            path.on_cum_advance(self.cum_tsn_acked)
+
+        # T3 timer management
+        for addr, path in self.paths.items():
+            if path.outstanding_bytes <= 0:
+                self._cancel_t3(addr)
+            elif cum_advanced:
+                self._arm_t3(addr, restart=True)
+
+        if self._shutdown_requested:
+            self._maybe_send_shutdown()
+        self._try_send()
+        if total_acked > 0 and self.sndbuf_free() > 0:
+            self.on_writable()
+
+    def _account_acked(
+        self, record: TxRecord, newly_acked: Dict[str, int], count_bytes: bool
+    ) -> None:
+        if not count_bytes:
+            return
+        size = record.chunk.payload.nbytes
+        self.outstanding_bytes -= size
+        path = self.paths.get(record.path_addr)
+        if path is not None:
+            path.outstanding_bytes = max(0, path.outstanding_bytes - size)
+        newly_acked[record.path_addr] = newly_acked.get(record.path_addr, 0) + size
+
+    def _maybe_rtt_sample(self, record: TxRecord) -> None:
+        probe = self._rtt_probe.get(record.path_addr)
+        if probe is None:
+            return
+        probe_tsn, sent_at = probe
+        if record.chunk.tsn == probe_tsn:
+            del self._rtt_probe[record.path_addr]
+            if record.transmit_count == 1:  # Karn's rule
+                self.paths[record.path_addr].rto.observe(self.kernel.now - sent_at)
+
+    # -- retransmission -------------------------------------------------------
+    def _retransmit_marked(self) -> None:
+        """Send marked chunks, one bundled packet, preferring an alternate
+        active path (paper §4.1.1: retransmissions use alternates)."""
+        marked = [r for r in self.outstanding.values() if r.marked_for_rtx]
+        if not marked:
+            return
+        origin = marked[0].path_addr
+        dest_path = None
+        if self.config.retransmit_to_alternate:
+            dest_path = self._alternate_path(origin)
+        if dest_path is None:
+            dest_path = self.paths.get(origin) or self._active_path()
+        if dest_path is None:
+            return
+        # no SACK bundling here: retransmissions must never be crowded out
+        chunks: List[Chunk] = []
+        budget = self.config.packet_chunk_budget
+        n_data = 0
+        for record in marked:
+            size = record.chunk.wire_size()
+            if size > budget:
+                break
+            budget -= size
+            chunks.append(record.chunk)
+            record.marked_for_rtx = False
+            record.missing_reports = 0
+            record.transmit_count += 1
+            record.sent_at_ns = self.kernel.now
+            # migrate outstanding accounting to the retransmission path
+            old_path = self.paths.get(record.path_addr)
+            if old_path is not None and old_path is not dest_path:
+                old_path.outstanding_bytes = max(
+                    0, old_path.outstanding_bytes - record.chunk.payload.nbytes
+                )
+                dest_path.outstanding_bytes += record.chunk.payload.nbytes
+                if record.path_addr != dest_path.addr:
+                    self.stats.failovers += 1
+            record.path_addr = dest_path.addr
+            # Karn: no RTT sample from anything retransmitted
+            self._rtt_probe.pop(dest_path.addr, None)
+            self.stats.retransmitted_chunks += 1
+            n_data += 1
+        if n_data > 0:
+            self._transmit_chunks(chunks, dest_path.addr)
+            self._arm_t3(dest_path.addr, restart=True)
+
+    def _arm_t3(self, addr: str, restart: bool = False) -> None:
+        timer = self._t3_timers.get(addr)
+        if timer is not None:
+            if not restart:
+                return
+            timer.cancel()
+        path = self.paths[addr]
+        self._t3_timers[addr] = self.kernel.call_after(
+            path.rto.rto_ns, self._on_t3, addr
+        )
+
+    def _cancel_t3(self, addr: str) -> None:
+        timer = self._t3_timers.pop(addr, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _on_t3(self, addr: str) -> None:
+        self._t3_timers.pop(addr, None)
+        path = self.paths.get(addr)
+        if path is None or self.state == CLOSED:
+            return
+        on_path = [r for r in self.outstanding.values() if r.path_addr == addr]
+        if not on_path:
+            return
+        self.stats.rto_events += 1
+        path.on_timeout()
+        path.rto.back_off()
+        path.note_error()
+        self._assoc_error_count += 1
+        if self._assoc_error_count > self.config.assoc_max_retrans:
+            self.abort("association retransmission limit exceeded")
+            return
+        for record in on_path:
+            record.marked_for_rtx = True
+            record.missing_reports = 0
+        self._retransmit_marked()
+
+    # -- heartbeats / path supervision ---------------------------------------
+    def _start_heartbeats(self) -> None:
+        if self.config.heartbeat_interval_ns <= 0:
+            return
+        for addr in self.paths:
+            self._arm_heartbeat(addr)
+
+    def _arm_heartbeat(self, addr: str) -> None:
+        old = self._hb_timers.get(addr)
+        if old is not None:
+            old.cancel()
+        path = self.paths[addr]
+        interval = self.config.heartbeat_interval_ns + path.rto.rto_ns
+        self._hb_timers[addr] = self.kernel.call_after(
+            interval, self._on_heartbeat_timer, addr
+        )
+
+    def _on_heartbeat_timer(self, addr: str) -> None:
+        self._hb_timers.pop(addr, None)
+        if self.state != ESTABLISHED:
+            return
+        path = self.paths.get(addr)
+        if path is None:
+            return
+        if addr in self._hb_pending:
+            # previous heartbeat never answered
+            path.note_error()
+            path.rto.back_off()
+            del self._hb_pending[addr]
+        if path.outstanding_bytes == 0:  # only probe idle paths
+            self._nonce += 1
+            self._hb_pending[addr] = self._nonce
+            self._transmit_chunks(
+                [HeartbeatChunk(addr, self.kernel.now, self._nonce)], addr
+            )
+        self._arm_heartbeat(addr)
+
+    def _on_heartbeat_ack(self, chunk: HeartbeatAckChunk) -> None:
+        pending = self._hb_pending.get(chunk.dest_addr)
+        if pending != chunk.nonce:
+            return
+        del self._hb_pending[chunk.dest_addr]
+        path = self.paths.get(chunk.dest_addr)
+        if path is not None:
+            path.note_success()
+            path.rto.observe(self.kernel.now - chunk.sent_at_ns)
+
+    def set_primary(self, addr: str) -> None:
+        """SCTP_PRIMARY_ADDR-style override."""
+        if addr not in self.paths:
+            raise ValueError(f"{addr} is not a peer address of this association")
+        self.primary_addr = addr
+
+    # -- T1 (handshake) timer ---------------------------------------------------
+    def _arm_t1(self) -> None:
+        self._cancel_t1()
+        rto = self.paths[self.primary_addr].rto
+        self._t1_timer = self.kernel.call_after(rto.rto_ns, self._on_t1)
+
+    def _cancel_t1(self) -> None:
+        if self._t1_timer is not None:
+            self._t1_timer.cancel()
+            self._t1_timer = None
+
+    def _on_t1(self) -> None:
+        self._t1_timer = None
+        self._init_retries += 1
+        if self._init_retries > self.config.max_init_retrans:
+            self._teardown("handshake timed out")
+            return
+        self.paths[self.primary_addr].rto.back_off()
+        if self.state == COOKIE_WAIT:
+            self._send_init()
+        elif self.state == COOKIE_ECHOED:
+            self._transmit_chunks([CookieEchoChunk(self._cookie)], self.primary_addr)
+            self._arm_t1()
+
+    # -- shutdown / teardown -----------------------------------------------------
+    def close(self) -> None:
+        """Graceful shutdown; completes once all data is delivered.
+
+        Note SCTP has no half-closed state: after close() neither side may
+        send new data (paper §3.5.2).
+        """
+        if self.state in (CLOSED, SHUTDOWN_SENT, SHUTDOWN_ACK_SENT):
+            return
+        self._shutdown_requested = True
+        if self.state == ESTABLISHED:
+            self.state = SHUTDOWN_PENDING
+        self._maybe_send_shutdown()
+
+    def _maybe_send_shutdown(self) -> None:
+        if not self._shutdown_requested:
+            return
+        if self.send_queue or self.outstanding:
+            return
+        if self.state == SHUTDOWN_PENDING:
+            self.state = SHUTDOWN_SENT
+            self._transmit_chunks([ShutdownChunk(self.rcv_cum_tsn)], self.primary_addr)
+            self._arm_t2()
+        elif self.state == SHUTDOWN_RECEIVED:
+            self.state = SHUTDOWN_ACK_SENT
+            self._transmit_chunks([ShutdownAckChunk()], self.primary_addr)
+            self._arm_t2()
+
+    def _on_shutdown(self, chunk: ShutdownChunk, src_addr: str) -> None:
+        if self.state in (ESTABLISHED, SHUTDOWN_PENDING):
+            self.state = SHUTDOWN_RECEIVED
+            self._shutdown_requested = True
+        self._maybe_send_shutdown()
+
+    def _on_shutdown_ack(self, src_addr: str) -> None:
+        self._transmit_chunks([ShutdownCompleteChunk()], src_addr)
+        self._teardown(None)
+
+    def _arm_t2(self) -> None:
+        if self._t2_timer is not None:
+            self._t2_timer.cancel()
+        rto = self.paths[self.primary_addr].rto
+        self._t2_timer = self.kernel.call_after(rto.rto_ns, self._on_t2)
+
+    def _on_t2(self) -> None:
+        self._t2_timer = None
+        if self.state == SHUTDOWN_SENT:
+            self._transmit_chunks([ShutdownChunk(self.rcv_cum_tsn)], self.primary_addr)
+            self._arm_t2()
+        elif self.state == SHUTDOWN_ACK_SENT:
+            self._transmit_chunks([ShutdownAckChunk()], self.primary_addr)
+            self._arm_t2()
+
+    def abort(self, reason: str) -> None:
+        """Send ABORT and tear down immediately."""
+        if self.state != CLOSED:
+            self._transmit_chunks([AbortChunk(reason)], self.primary_addr)
+        self._teardown(reason)
+
+    def _touch_autoclose(self) -> None:
+        if self.config.autoclose_ns <= 0:
+            return
+        if self._autoclose_timer is not None:
+            self._autoclose_timer.cancel()
+        self._autoclose_timer = self.kernel.call_after(
+            self.config.autoclose_ns, self._on_autoclose
+        )
+
+    def _on_autoclose(self) -> None:
+        self._autoclose_timer = None
+        if self.state == ESTABLISHED and not self.outstanding and not self.send_queue:
+            self.close()
+
+    def _teardown(self, error: Optional[str]) -> None:
+        if self.state == CLOSED:
+            return
+        self.state = CLOSED
+        for timer in (
+            self._t1_timer,
+            self._t2_timer,
+            self._sack_timer,
+            self._autoclose_timer,
+        ):
+            if timer is not None:
+                timer.cancel()
+        for timer in list(self._t3_timers.values()) + list(self._hb_timers.values()):
+            timer.cancel()
+        self._t3_timers.clear()
+        self._hb_timers.clear()
+        self.endpoint.forget(self)
+        self.on_closed(error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Association id={self.assoc_id} {self.local_port}->"
+            f"{self.primary_addr}:{self.peer_port} {self.state}>"
+        )
+
+
+def _noop() -> None:
+    return None
+
+
+def _noop1(_arg) -> None:
+    return None

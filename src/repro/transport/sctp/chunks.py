@@ -1,0 +1,247 @@
+"""SCTP chunk and packet PDUs with wire-size accounting.
+
+Sizes follow RFC 4960: a 12-byte common header carries the ports and the
+32-bit verification tag; each chunk pads to a 4-byte boundary.  The SACK
+chunk's gap-ack blocks are *not* capped — unlike TCP, whose SACK option
+competes for ~40 bytes of option space, SCTP gap reporting is limited only
+by the PMTU (paper §4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...network.packet import IP_HEADER
+from ...util.blobs import Blob
+
+COMMON_HEADER = 12
+DATA_CHUNK_HEADER = 16
+SACK_CHUNK_BASE = 16
+CONTROL_CHUNK_BASE = 20
+
+
+def _pad4(n: int) -> int:
+    return (n + 3) // 4 * 4
+
+
+class Chunk:
+    """Base class: every chunk knows its padded wire size."""
+
+    def wire_size(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class DataChunk(Chunk):
+    """One (possibly fragmentary) piece of a user message."""
+
+    tsn: int
+    sid: int  # stream identifier (SNo in the paper's Fig. 1)
+    ssn: int  # stream sequence number
+    payload: Blob
+    begin: bool = True  # B bit: first fragment of the message
+    end: bool = True  # E bit: last fragment
+    unordered: bool = False  # U bit
+    ppid: int = 0  # payload protocol identifier (§2.3's PID mapping)
+
+    def wire_size(self) -> int:
+        return _pad4(DATA_CHUNK_HEADER + self.payload.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        frag = ("B" if self.begin else "") + ("E" if self.end else "")
+        return (
+            f"<DATA tsn={self.tsn} sid={self.sid} ssn={self.ssn} "
+            f"len={self.payload.nbytes} {frag or 'M'}>"
+        )
+
+
+@dataclass
+class SackChunk(Chunk):
+    """Selective acknowledgement: cumulative TSN + gap-ack blocks."""
+
+    cum_tsn: int
+    a_rwnd: int
+    # gap blocks as (start, end) offsets relative to cum_tsn, RFC-style:
+    # block (s, e) acknowledges TSNs cum_tsn+s .. cum_tsn+e inclusive.
+    gaps: Tuple[Tuple[int, int], ...] = ()
+    n_dup_tsns: int = 0
+
+    def wire_size(self) -> int:
+        return _pad4(SACK_CHUNK_BASE + 4 * len(self.gaps) + 4 * min(self.n_dup_tsns, 16))
+
+    def acked_tsns(self) -> set:
+        """Expand the gap blocks into the set of gap-acked TSNs."""
+        out = set()
+        for start, end in self.gaps:
+            out.update(range(self.cum_tsn + start, self.cum_tsn + end + 1))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SACK cum={self.cum_tsn} rwnd={self.a_rwnd} gaps={list(self.gaps)}>"
+
+
+@dataclass
+class InitChunk(Chunk):
+    """Association initiation (leg 1 of the four-way handshake)."""
+
+    init_tag: int  # the tag the peer must put in every packet to us
+    a_rwnd: int
+    n_out_streams: int
+    n_in_streams: int
+    initial_tsn: int
+    addresses: Tuple[str, ...] = ()  # multihoming: all our bound addresses
+
+    def wire_size(self) -> int:
+        return _pad4(CONTROL_CHUNK_BASE + 8 * len(self.addresses))
+
+
+@dataclass
+class StateCookie:
+    """Everything the server needs to build the TCB, signed and dated.
+
+    Carried opaquely inside INIT-ACK/COOKIE-ECHO so the server keeps *no*
+    state for unverified peers (SYN-flood protection, paper §3.5.2).
+    """
+
+    peer_addr: str
+    peer_port: int
+    local_port: int
+    peer_init_tag: int
+    peer_initial_tsn: int
+    peer_a_rwnd: int
+    peer_addresses: Tuple[str, ...]
+    my_init_tag: int
+    my_initial_tsn: int
+    n_out_streams: int
+    n_in_streams: int
+    created_at_ns: int
+    signature: int = 0
+
+    def body(self) -> Tuple:
+        return (
+            self.peer_addr,
+            self.peer_port,
+            self.local_port,
+            self.peer_init_tag,
+            self.peer_initial_tsn,
+            self.peer_a_rwnd,
+            self.peer_addresses,
+            self.my_init_tag,
+            self.my_initial_tsn,
+            self.n_out_streams,
+            self.n_in_streams,
+            self.created_at_ns,
+        )
+
+    SIZE = 120  # approximate serialized cookie size on the wire
+
+
+@dataclass
+class InitAckChunk(Chunk):
+    """Leg 2: mirror of INIT plus the signed state cookie."""
+
+    init_tag: int
+    a_rwnd: int
+    n_out_streams: int
+    n_in_streams: int
+    initial_tsn: int
+    cookie: StateCookie = None
+    addresses: Tuple[str, ...] = ()
+
+    def wire_size(self) -> int:
+        return _pad4(CONTROL_CHUNK_BASE + 8 * len(self.addresses) + StateCookie.SIZE)
+
+
+@dataclass
+class CookieEchoChunk(Chunk):
+    """Leg 3: the client echoes the cookie (may bundle DATA after it)."""
+
+    cookie: StateCookie
+
+    def wire_size(self) -> int:
+        return _pad4(4 + StateCookie.SIZE)
+
+
+@dataclass
+class CookieAckChunk(Chunk):
+    """Leg 4: association fully up (may bundle DATA)."""
+
+    def wire_size(self) -> int:
+        return 4
+
+
+@dataclass
+class HeartbeatChunk(Chunk):
+    """Path probe; ``info`` is opaque and echoed back."""
+
+    dest_addr: str
+    sent_at_ns: int
+    nonce: int
+
+    def wire_size(self) -> int:
+        return _pad4(4 + 24)
+
+
+@dataclass
+class HeartbeatAckChunk(Chunk):
+    """Echo of a HEARTBEAT's info."""
+
+    dest_addr: str
+    sent_at_ns: int
+    nonce: int
+
+    def wire_size(self) -> int:
+        return _pad4(4 + 24)
+
+
+@dataclass
+class ShutdownChunk(Chunk):
+    """Graceful close (SCTP has no half-closed state, §3.5.2)."""
+
+    cum_tsn: int
+
+    def wire_size(self) -> int:
+        return 8
+
+
+@dataclass
+class ShutdownAckChunk(Chunk):
+    def wire_size(self) -> int:
+        return 4
+
+
+@dataclass
+class ShutdownCompleteChunk(Chunk):
+    def wire_size(self) -> int:
+        return 4
+
+
+@dataclass
+class AbortChunk(Chunk):
+    """Immediate teardown (also sent for stale/invalid cookies)."""
+
+    reason: str = ""
+
+    def wire_size(self) -> int:
+        return _pad4(4 + len(self.reason))
+
+
+@dataclass
+class SCTPPacket:
+    """Common header + bundled chunks = one IP datagram."""
+
+    src_port: int
+    dst_port: int
+    vtag: int  # verification tag: peer's init_tag (0 only on INIT)
+    chunks: Tuple[Chunk, ...]
+
+    def wire_size(self) -> int:
+        return IP_HEADER + COMMON_HEADER + sum(c.wire_size() for c in self.chunks)
+
+    def data_chunks(self) -> Tuple[DataChunk, ...]:
+        return tuple(c for c in self.chunks if isinstance(c, DataChunk))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(type(c).__name__.replace("Chunk", "") for c in self.chunks)
+        return f"<SCTP {self.src_port}->{self.dst_port} vtag={self.vtag} [{kinds}]>"

@@ -1,0 +1,190 @@
+"""TCP send and receive buffers.
+
+``SendBuffer`` maps absolute sequence numbers to application blobs so any
+range can be (re)materialised for transmission or retransmission without
+copying.  ``ReassemblyBuffer`` holds out-of-order segments, produces SACK
+blocks, and releases in-order data to the application.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from ...util.blobs import Blob, ChunkList
+
+
+class SendBuffer:
+    """Blobs queued for transmission, addressed by absolute sequence."""
+
+    def __init__(self, start_seq: int, capacity: int) -> None:
+        self.capacity = capacity
+        self._head_seq = start_seq  # sequence of the first byte still stored
+        self._tail_seq = start_seq  # sequence just past the last stored byte
+        self._pieces: Deque[Tuple[int, Blob]] = deque()  # (start_seq, blob)
+
+    @property
+    def tail_seq(self) -> int:
+        """Sequence just past the last byte the app has written."""
+        return self._tail_seq
+
+    @property
+    def used(self) -> int:
+        """Bytes currently buffered (unacknowledged + unsent)."""
+        return self._tail_seq - self._head_seq
+
+    @property
+    def free(self) -> int:
+        """Remaining buffer capacity in bytes."""
+        return self.capacity - self.used
+
+    def write(self, blob: Blob) -> int:
+        """Append as much of ``blob`` as fits; returns bytes accepted."""
+        accept = min(blob.nbytes, self.free)
+        if accept <= 0:
+            return 0
+        piece = blob if accept == blob.nbytes else blob.slice(0, accept)
+        self._pieces.append((self._tail_seq, piece))
+        self._tail_seq += accept
+        return accept
+
+    def bytes_after(self, seq: int) -> int:
+        """Unsent/unacked bytes at or above sequence ``seq``."""
+        return max(0, self._tail_seq - seq)
+
+    def read_range(self, seq: int, nbytes: int) -> ChunkList:
+        """Materialise payload for [seq, seq+nbytes) — used for (re)sends."""
+        if seq < self._head_seq or seq + nbytes > self._tail_seq:
+            raise ValueError(
+                f"range [{seq},{seq + nbytes}) outside buffered "
+                f"[{self._head_seq},{self._tail_seq})"
+            )
+        out = ChunkList()
+        end = seq + nbytes
+        for start, blob in self._pieces:
+            blob_end = start + blob.nbytes
+            if blob_end <= seq:
+                continue
+            if start >= end:
+                break
+            lo = max(seq, start) - start
+            hi = min(end, blob_end) - start
+            out.append(blob.slice(lo, hi))
+        return out
+
+    def release_below(self, seq: int) -> int:
+        """Drop fully acknowledged bytes below ``seq``; returns bytes freed."""
+        seq = min(seq, self._tail_seq)
+        freed = max(0, seq - self._head_seq)
+        while self._pieces:
+            start, blob = self._pieces[0]
+            if start + blob.nbytes <= seq:
+                self._pieces.popleft()
+            elif start < seq:
+                # partial ack inside a blob: trim its acked prefix
+                self._pieces[0] = (seq, blob.slice(seq - start, blob.nbytes))
+                break
+            else:
+                break
+        self._head_seq = max(self._head_seq, seq)
+        return freed
+
+
+class ReassemblyBuffer:
+    """Receiver-side sequencing: in-order release + SACK generation."""
+
+    def __init__(self, rcv_nxt: int) -> None:
+        self.rcv_nxt = rcv_nxt
+        # out-of-order segments: sorted, non-overlapping (start, end, data)
+        self._segments: List[Tuple[int, int, ChunkList]] = []
+        self._recent_blocks: List[Tuple[int, int]] = []  # MRU SACK blocks
+
+    @property
+    def out_of_order_bytes(self) -> int:
+        """Bytes parked above the in-order point (consume receive buffer)."""
+        return sum(end - start for start, end, _ in self._segments)
+
+    def offer(self, seq: int, data: ChunkList) -> ChunkList:
+        """Accept a segment; returns newly in-order data (possibly empty).
+
+        Handles overlap trimming.  Data below ``rcv_nxt`` is discarded as
+        duplicate; data overlapping queued segments keeps the first copy.
+        """
+        end = seq + data.nbytes
+        delivered = ChunkList()
+        if end <= self.rcv_nxt:
+            return delivered  # entirely duplicate
+        if seq < self.rcv_nxt:
+            data = data.slice(self.rcv_nxt - seq, data.nbytes)
+            seq = self.rcv_nxt
+
+        if seq == self.rcv_nxt:
+            delivered.extend(data)
+            self.rcv_nxt = end
+            self._drain_queue(delivered)
+            self._note_block(seq, end, arrived_in_order=True)
+            return delivered
+
+        self._insert(seq, end, data)
+        self._note_block(seq, end, arrived_in_order=False)
+        return delivered
+
+    def _insert(self, seq: int, end: int, data: ChunkList) -> None:
+        # trim against existing segments (first arrival wins)
+        for start0, end0, _ in list(self._segments):
+            if end <= start0 or seq >= end0:
+                continue
+            if seq >= start0 and end <= end0:
+                return  # fully covered
+            if seq < start0 < end <= end0:
+                data = data.slice(0, start0 - seq)
+                end = start0
+            elif start0 <= seq < end0 < end:
+                data = data.slice(end0 - seq, data.nbytes)
+                seq = end0
+            elif seq < start0 and end > end0:
+                # split: keep the left piece, recurse on the right
+                right = data.slice(end0 - seq, data.nbytes)
+                data = data.slice(0, start0 - seq)
+                self._insert(end0, end, right)
+                end = start0
+        if end > seq:
+            self._segments.append((seq, end, data))
+            self._segments.sort(key=lambda item: item[0])
+
+    def _drain_queue(self, delivered: ChunkList) -> None:
+        while self._segments and self._segments[0][0] <= self.rcv_nxt:
+            start, end, data = self._segments.pop(0)
+            if end <= self.rcv_nxt:
+                continue  # stale duplicate
+            if start < self.rcv_nxt:
+                data = data.slice(self.rcv_nxt - start, data.nbytes)
+            delivered.extend(data)
+            self.rcv_nxt = end
+
+    # -- SACK block generation --------------------------------------------
+    def _note_block(self, seq: int, end: int, arrived_in_order: bool) -> None:
+        if arrived_in_order:
+            # in-order data invalidates blocks below rcv_nxt
+            self._recent_blocks = [
+                (s, e) for s, e in self._recent_blocks if e > self.rcv_nxt
+            ]
+            return
+        merged = (seq, end)
+        blocks = []
+        for s, e in self._recent_blocks:
+            if e < merged[0] or s > merged[1]:
+                blocks.append((s, e))
+            else:
+                merged = (min(s, merged[0]), max(e, merged[1]))
+        self._recent_blocks = [merged] + blocks
+
+    def sack_blocks(self, max_blocks: int) -> Tuple[Tuple[int, int], ...]:
+        """Most-recently-updated SACK blocks, capped at ``max_blocks``."""
+        live = [(s, e) for s, e in self._recent_blocks if e > self.rcv_nxt]
+        return tuple(live[:max_blocks])
+
+    @property
+    def has_gaps(self) -> bool:
+        """Whether any out-of-order data is parked."""
+        return bool(self._segments)

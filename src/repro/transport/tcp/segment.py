@@ -1,0 +1,80 @@
+"""TCP segment PDU and wire-size accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ...network.packet import IP_HEADER
+from ...util.blobs import ChunkList
+
+TCP_HEADER = 20
+TIMESTAMP_OPTION = 12  # RFC 1323 timestamps, on by default in 2005 stacks
+
+# Flag bits
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+ACK = 0x10
+
+
+SackBlock = Tuple[int, int]  # [start, end) sequence range
+
+
+@dataclass
+class TCPSegment:
+    """One TCP segment; ``data`` is a ChunkList of payload blobs."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window: int
+    data: Optional[ChunkList] = None
+    sack_blocks: Tuple[SackBlock, ...] = ()
+    ts_echo: int = 0  # echoed send timestamp (ns) for RTT sampling
+
+    data_len: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.data_len = self.data.nbytes if self.data is not None else 0
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def end_seq(self) -> int:
+        """Sequence number just past this segment's payload (+SYN/FIN)."""
+        length = self.data_len
+        if self.flags & SYN:
+            length += 1
+        if self.flags & FIN:
+            length += 1
+        return self.seq + length
+
+    def has(self, flag: int) -> bool:
+        """Test a control flag."""
+        return bool(self.flags & flag)
+
+    def wire_size(self) -> int:
+        """On-the-wire bytes including IP and TCP headers + options."""
+        options = TIMESTAMP_OPTION
+        if self.sack_blocks:
+            # 2 bytes kind/len + 8 per block, padded to a 4-byte boundary
+            raw = 2 + 8 * len(self.sack_blocks)
+            options += (raw + 3) // 4 * 4
+        return IP_HEADER + TCP_HEADER + options + self.data_len
+
+    def flag_names(self) -> str:
+        """Human-readable flags for traces."""
+        names = []
+        for bit, name in ((SYN, "SYN"), (FIN, "FIN"), (RST, "RST"), (ACK, "ACK")):
+            if self.flags & bit:
+                names.append(name)
+        return "|".join(names) or "-"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TCP {self.src_port}->{self.dst_port} {self.flag_names()} "
+            f"seq={self.seq} ack={self.ack} len={self.data_len} "
+            f"win={self.window} sack={list(self.sack_blocks)}>"
+        )

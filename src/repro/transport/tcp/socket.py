@@ -1,0 +1,225 @@
+"""Non-blocking socket facade over :class:`TCPConnection`.
+
+This is the API surface LAM's TCP RPI uses: non-blocking ``send``/``recv``
+that return "would block" instead of waiting, plus a :class:`Selector`
+mimicking ``select()`` — including its linear-in-descriptors CPU cost,
+which the paper (citing [20]) identifies as a scalability liability of the
+socket-per-peer design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ...simkernel import Future
+from ...util.blobs import Blob, ChunkList
+from .connection import TCPConfig, TCPConnection
+from .endpoint import ListenerHooks, TCPEndpoint
+
+
+class TCPSocket:
+    """One connected (or connecting) TCP socket, non-blocking semantics."""
+
+    def __init__(self, conn: TCPConnection) -> None:
+        self.conn = conn
+        self._connect_future: Optional[Future] = None
+        self._watchers: Set["Selector"] = set()
+        self.closed_error: Optional[str] = None
+        conn.on_established = self._on_established
+        conn.on_readable = self._notify_watchers
+        conn.on_writable = self._notify_watchers
+        conn.on_closed = self._on_closed
+
+    # -- establishment -----------------------------------------------------
+    @classmethod
+    def connect(
+        cls,
+        endpoint: TCPEndpoint,
+        remote_addr: str,
+        remote_port: int,
+        config: Optional[TCPConfig] = None,
+    ) -> "TCPSocket":
+        """Start an active open; await :meth:`connected` for completion."""
+        conn = endpoint.connect(remote_addr, remote_port, config=config)
+        return cls(conn)
+
+    def connected(self) -> Future:
+        """Future resolving (to self) when the handshake completes."""
+        fut = Future(name=f"connect:{self.conn.remote_addr}:{self.conn.remote_port}")
+        if self.conn.state == "ESTABLISHED":
+            fut.set_result(self)
+        elif self.closed_error is not None:
+            fut.set_exception(ConnectionError(self.closed_error))
+        else:
+            self._connect_future = fut
+        return fut
+
+    def _on_established(self) -> None:
+        if self._connect_future is not None and not self._connect_future.done():
+            self._connect_future.set_result(self)
+        self._notify_watchers()
+
+    def _on_closed(self, error: Optional[str]) -> None:
+        self.closed_error = error
+        if self._connect_future is not None and not self._connect_future.done():
+            self._connect_future.set_exception(
+                ConnectionError(error or "connection closed")
+            )
+        self._notify_watchers()
+
+    # -- data ---------------------------------------------------------------
+    def send(self, blob: Blob) -> int:
+        """Queue bytes; returns bytes accepted, 0 when the call would block."""
+        if self.closed_error is not None:
+            raise BrokenPipeError(self.closed_error)
+        return self.conn.app_write(blob)
+
+    def recv(self, nbytes: int) -> Optional[ChunkList]:
+        """Read up to ``nbytes``; None = would block; empty ChunkList = EOF."""
+        if self.conn.app_readable_bytes() > 0:
+            return self.conn.app_read(nbytes)
+        if self.conn.eof_pending or self.closed_error is not None:
+            return ChunkList()
+        return None
+
+    def close(self) -> None:
+        """Half-close the sending direction (FIN after pending data)."""
+        self.conn.app_close()
+
+    def abort(self) -> None:
+        """Hard reset."""
+        self.conn.abort()
+
+    # -- readiness ------------------------------------------------------------
+    @property
+    def readable(self) -> bool:
+        """Data buffered, EOF reached, or connection dead."""
+        return (
+            self.conn.app_readable_bytes() > 0
+            or self.conn.eof_pending
+            or self.closed_error is not None
+        )
+
+    @property
+    def writable(self) -> bool:
+        """Send buffer has room (or the socket is dead: writes will raise)."""
+        if self.closed_error is not None:
+            return True
+        return self.conn.state == "ESTABLISHED" and self.conn.writable_bytes() > 0
+
+    def _attach(self, selector: "Selector") -> None:
+        self._watchers.add(selector)
+
+    def _detach(self, selector: "Selector") -> None:
+        self._watchers.discard(selector)
+
+    def _notify_watchers(self) -> None:
+        for watcher in list(self._watchers):
+            watcher._socket_event()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TCPSocket {self.conn!r}>"
+
+
+class TCPListener:
+    """Listening socket with an accept queue."""
+
+    def __init__(
+        self,
+        endpoint: TCPEndpoint,
+        port: int,
+        config: Optional[TCPConfig] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.port = port
+        self._backlog: List[TCPSocket] = []
+        self._acceptors: List[Future] = []
+        endpoint.listen(port, ListenerHooks(self._on_new_connection, config))
+
+    def _on_new_connection(self, conn: TCPConnection) -> None:
+        sock = TCPSocket(conn)
+
+        def when_established() -> None:
+            sock._notify_watchers()
+            while self._acceptors:
+                fut = self._acceptors.pop(0)
+                if not fut.done():
+                    fut.set_result(sock)
+                    return
+            self._backlog.append(sock)
+
+        conn.on_established = when_established
+
+    def accept(self) -> Future:
+        """Future resolving to the next fully established TCPSocket."""
+        fut = Future(name=f"accept:{self.port}")
+        if self._backlog:
+            fut.set_result(self._backlog.pop(0))
+        else:
+            self._acceptors.append(fut)
+        return fut
+
+    def close(self) -> None:
+        """Stop listening (queued-but-unaccepted connections stay alive)."""
+        self.endpoint.unlisten(self.port)
+
+
+class Selector:
+    """``select()``-alike over TCPSockets, with modelled CPU cost.
+
+    ``wait`` resolves with (readable, writable) lists as soon as any
+    watched socket is ready, charging the host CPU the documented
+    linear-in-sockets cost per invocation (CostModel.select_cost).
+    """
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self._pending: Optional[Future] = None
+        self._read_set: Dict[TCPSocket, None] = {}
+        self._write_set: Dict[TCPSocket, None] = {}
+        self.calls = 0
+
+    def wait(
+        self,
+        read_sockets: Iterable[TCPSocket],
+        write_sockets: Iterable[TCPSocket] = (),
+    ) -> Future:
+        """Future of (readable_list, writable_list); charges select() cost."""
+        if self._pending is not None and not self._pending.done():
+            raise RuntimeError("selector already waiting")
+        self._read_set = dict.fromkeys(read_sockets)
+        self._write_set = dict.fromkeys(write_sockets)
+        nsockets = len(self._read_set) + len(self._write_set)
+        self.calls += 1
+        self.host.cpu.charge(self.host.cost_model.select_cost(nsockets))
+
+        fut = Future(name="select")
+        self._pending = fut
+        for sock in list(self._read_set) + list(self._write_set):
+            sock._attach(self)
+        self._socket_event()  # maybe already ready
+        return fut
+
+    def cancel_wait(self) -> None:
+        """Abandon the current wait (resolves with empty ready sets)."""
+        fut = self._pending
+        if fut is None:
+            return
+        self._pending = None
+        for sock in list(self._read_set) + list(self._write_set):
+            sock._detach(self)
+        if not fut.done():
+            fut.set_result(([], []))
+
+    def _socket_event(self) -> None:
+        fut = self._pending
+        if fut is None or fut.done():
+            return
+        readable = [s for s in self._read_set if s.readable]
+        writable = [s for s in self._write_set if s.writable]
+        if not readable and not writable:
+            return
+        self._pending = None
+        for sock in list(self._read_set) + list(self._write_set):
+            sock._detach(self)
+        fut.set_result((readable, writable))

@@ -1,0 +1,14 @@
+"""Small shared utilities (payload blobs, chunk lists, packet tracing)."""
+
+from .blobs import Blob, ChunkList, RealBlob, SyntheticBlob, as_blob
+from .trace import PacketTrace, TraceEntry
+
+__all__ = [
+    "Blob",
+    "ChunkList",
+    "PacketTrace",
+    "RealBlob",
+    "SyntheticBlob",
+    "TraceEntry",
+    "as_blob",
+]

@@ -1,0 +1,162 @@
+"""Payload containers that separate *accounting* from *content*.
+
+Simulated transports must move exact byte counts without the simulator
+paying to copy megabytes around.  A :class:`Blob` is a sized piece of
+payload: :class:`RealBlob` wraps actual ``bytes`` (used for middleware
+envelopes and for tests that check end-to-end content integrity), while
+:class:`SyntheticBlob` is a zero-cost stand-in of a given size (used for
+benchmark message bodies, exactly like MPBench's throwaway buffers).  A
+synthetic blob reads as zero bytes if ever materialised.
+
+:class:`ChunkList` is an ordered run of blobs with O(pieces) slicing —
+transports use it for segment payloads and reassembled data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+
+class Blob:
+    """Abstract sized payload piece."""
+
+    nbytes: int
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def slice(self, start: int, end: int) -> "Blob":
+        """Sub-blob for byte range [start, end)."""
+        raise NotImplementedError
+
+    def to_bytes(self) -> bytes:
+        """Materialise the content (synthetic blobs read as zeros)."""
+        raise NotImplementedError
+
+    @property
+    def is_real(self) -> bool:
+        """Whether the blob carries actual byte content."""
+        raise NotImplementedError
+
+
+class RealBlob(Blob):
+    """Payload backed by actual bytes."""
+
+    __slots__ = ("data", "nbytes")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = bytes(data)
+        self.nbytes = len(self.data)
+
+    def slice(self, start: int, end: int) -> "RealBlob":
+        _check_range(start, end, self.nbytes)
+        return RealBlob(self.data[start:end])
+
+    def to_bytes(self) -> bytes:
+        return self.data
+
+    @property
+    def is_real(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RealBlob({self.nbytes}B)"
+
+
+class SyntheticBlob(Blob):
+    """A sized placeholder: benchmarks move sizes, not content."""
+
+    __slots__ = ("nbytes", "label")
+
+    def __init__(self, nbytes: int, label: str = "") -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative blob size: {nbytes}")
+        self.nbytes = nbytes
+        self.label = label
+
+    def slice(self, start: int, end: int) -> "SyntheticBlob":
+        _check_range(start, end, self.nbytes)
+        return SyntheticBlob(end - start, self.label)
+
+    def to_bytes(self) -> bytes:
+        return b"\x00" * self.nbytes
+
+    @property
+    def is_real(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SyntheticBlob({self.nbytes}B, {self.label!r})"
+
+
+def as_blob(value: Union[Blob, bytes, bytearray, memoryview]) -> Blob:
+    """Coerce bytes-like values into a Blob (Blobs pass through)."""
+    if isinstance(value, Blob):
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return RealBlob(bytes(value))
+    raise TypeError(f"cannot make a Blob from {type(value).__name__}")
+
+
+class ChunkList:
+    """An ordered run of blobs, sliceable without copying content."""
+
+    __slots__ = ("pieces", "nbytes")
+
+    def __init__(self, pieces: Iterable[Blob] = ()) -> None:
+        self.pieces: List[Blob] = [p for p in pieces if p.nbytes > 0]
+        self.nbytes = sum(p.nbytes for p in self.pieces)
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def append(self, blob: Blob) -> None:
+        """Add a blob at the end."""
+        if blob.nbytes == 0:
+            return
+        self.pieces.append(blob)
+        self.nbytes += blob.nbytes
+
+    def extend(self, other: "ChunkList") -> None:
+        """Concatenate another chunk list."""
+        for piece in other.pieces:
+            self.append(piece)
+
+    def slice(self, start: int, end: int) -> "ChunkList":
+        """Byte range [start, end) as a new chunk list."""
+        _check_range(start, end, self.nbytes)
+        out = ChunkList()
+        pos = 0
+        for piece in self.pieces:
+            piece_end = pos + piece.nbytes
+            if piece_end <= start:
+                pos = piece_end
+                continue
+            if pos >= end:
+                break
+            lo = max(start, pos) - pos
+            hi = min(end, piece_end) - pos
+            out.append(piece.slice(lo, hi))
+            pos = piece_end
+        return out
+
+    def split(self, at: int) -> tuple["ChunkList", "ChunkList"]:
+        """Split into (first ``at`` bytes, remainder)."""
+        return self.slice(0, at), self.slice(at, self.nbytes)
+
+    def to_bytes(self) -> bytes:
+        """Materialise the whole run (synthetic pieces read as zeros)."""
+        return b"".join(p.to_bytes() for p in self.pieces)
+
+    @property
+    def is_real(self) -> bool:
+        """True when every piece carries actual bytes."""
+        return all(p.is_real for p in self.pieces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChunkList({self.nbytes}B, {len(self.pieces)} pieces)"
+
+
+def _check_range(start: int, end: int, size: int) -> None:
+    if not 0 <= start <= end <= size:
+        raise ValueError(f"bad slice [{start}, {end}) of {size}-byte payload")

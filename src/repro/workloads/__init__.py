@@ -1,0 +1,20 @@
+"""The paper's evaluation workloads.
+
+* :mod:`repro.workloads.mpbench` — the MPBench ping-pong test (§4.1.1),
+* :mod:`repro.workloads.farm` — the Bulk Processor Farm manager/worker
+  program (§4.2.1), the paper's latency-tolerant "real world" application,
+* :mod:`repro.workloads.npb` — mini NAS Parallel Benchmarks (§4.1.2):
+  EP, IS, CG, MG, LU, BT, SP with real (scaled) numerics and the original
+  communication structure.  FT is omitted, as in the paper.
+"""
+
+from .farm import FarmParams, FarmResult, run_farm
+from .mpbench import PingPongResult, run_pingpong
+
+__all__ = [
+    "FarmParams",
+    "FarmResult",
+    "PingPongResult",
+    "run_farm",
+    "run_pingpong",
+]

@@ -1,0 +1,45 @@
+"""Mini NAS Parallel Benchmarks (paper §4.1.2, Fig. 9).
+
+Seven of the eight NPB 3.2 benchmarks, exactly the set the paper ran
+(FT omitted — it did not build with mpif77 for them either):
+
+========  =============================  ==================================
+kernel    computation                    communication structure
+========  =============================  ==================================
+EP        Gaussian deviates via           one allreduce at the end
+          acceptance-rejection            (embarrassingly parallel)
+IS        integer bucket sort             alltoall of counts + key payloads
+CG        conjugate gradient on a 2-D     allgather of the iterate +
+          Laplacian (SPD, sparse)         allreduce of dot products
+MG        3-D multigrid V-cycles,         nearest-neighbour halo exchange
+          z-decomposition                 at every level (mostly short)
+LU        SSOR wavefront                  pipelined plane-boundary messages
+                                          (many, small)
+BT        block-tridiagonal ADI,          small sub-face messages per sweep
+          multipartition-style            stage (short-dominated, like the
+                                          paper observes for class B)
+SP        scalar-pentadiagonal ADI,       full-face pipeline messages
+          pencil decomposition            (long for classes A/B)
+========  =============================  ==================================
+
+The kernels run *real* (scaled-down) numerics on numpy arrays and charge
+their operation counts to the virtual CPU, so the Mop/s we report is
+virtual-time Mop/s: communication behaviour (message sizes per class,
+short vs long protocol, loss recovery) is what differentiates the RPIs,
+which is exactly the comparison in the paper's Fig. 9.
+"""
+
+from .common import CLASSES, NPBResult, npb_app, run_npb
+from . import bt, cg, ep, is_, lu, mg, sp
+
+KERNELS = {
+    "EP": ep.kernel,
+    "IS": is_.kernel,
+    "CG": cg.kernel,
+    "MG": mg.kernel,
+    "LU": lu.kernel,
+    "BT": bt.kernel,
+    "SP": sp.kernel,
+}
+
+__all__ = ["CLASSES", "KERNELS", "NPBResult", "npb_app", "run_npb"]

@@ -1,0 +1,82 @@
+"""IS — integer bucket sort.
+
+Every rank generates its share of keys, histograms them into one bucket
+per rank, exchanges bucket counts (small alltoall) and then the keys
+themselves (the large alltoall that dominates classes A/B), and sorts its
+received bucket locally.  Verified by global order across rank
+boundaries and key conservation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import charge_flops
+
+KEY_BITS = 16  # keys in [0, 2^16)
+OPS_PER_KEY = 25.0  # histogram + ranking + sort work per key per iteration
+
+
+async def kernel(comm, log2_keys: int, iterations: int):
+    total_keys = 1 << log2_keys
+    n_local = total_keys // comm.size
+    key_max = 1 << KEY_BITS
+    bucket_width = key_max // comm.size
+    rng = np.random.default_rng(777 + comm.rank)
+
+    flops = 0.0
+    verified = True
+    detail = ""
+    for it in range(iterations):
+        keys = rng.integers(0, key_max, n_local, dtype=np.int64)
+        flops += OPS_PER_KEY * n_local
+        await charge_flops(comm, OPS_PER_KEY * n_local)
+
+        bucket_of = np.minimum(keys // bucket_width, comm.size - 1)
+        order = np.argsort(bucket_of, kind="stable")
+        keys_by_bucket = keys[order]
+        counts = np.bincount(bucket_of, minlength=comm.size)
+
+        # small alltoall: how many keys each peer will send me
+        incoming = await comm.alltoall([int(c) for c in counts])
+
+        # large alltoall: the keys themselves (numpy arrays, pickled)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        outgoing = [
+            keys_by_bucket[offsets[d] : offsets[d + 1]] for d in range(comm.size)
+        ]
+        received = await comm.alltoall(outgoing)
+        mine = np.concatenate(received)
+        mine.sort(kind="radix" if hasattr(np, "radix") else "quicksort")
+        flops += OPS_PER_KEY * len(mine)
+        await charge_flops(comm, OPS_PER_KEY * len(mine))
+
+        # verification: counts match announcements, keys in my bucket range,
+        # and my largest key <= right neighbour's smallest
+        if sum(incoming) != len(mine):
+            verified = False
+        lo = comm.rank * bucket_width
+        hi = key_max if comm.rank == comm.size - 1 else (comm.rank + 1) * bucket_width
+        if len(mine) and (mine[0] < lo or mine[-1] >= hi):
+            verified = False
+        total = await comm.allreduce(len(mine))
+        if total != total_keys:
+            verified = False
+        boundary_ok = await _check_boundaries(comm, mine)
+        verified = verified and boundary_ok
+        detail = f"iter{it}: kept={len(mine)}"
+    return flops, verified, detail
+
+
+async def _check_boundaries(comm, mine: np.ndarray) -> bool:
+    """My max must not exceed my right neighbour's min (global order)."""
+    my_min = int(mine[0]) if len(mine) else None
+    my_max = int(mine[-1]) if len(mine) else None
+    ok = True
+    if comm.rank + 1 < comm.size:
+        await comm.send(my_max, dest=comm.rank + 1, tag=50)
+    if comm.rank > 0:
+        left_max = await comm.recv(source=comm.rank - 1, tag=50)
+        if left_max is not None and my_min is not None and left_max > my_min:
+            ok = False
+    return await comm.allreduce(ok, op=lambda a, b: a and b)

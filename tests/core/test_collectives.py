@@ -1,0 +1,167 @@
+"""Collectives vs serial references, both RPIs, assorted sizes."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import run_app
+
+LIMIT = 300_000_000_000
+SIZES = [2, 3, 5, 8]  # powers of two and not
+BOTH = pytest.mark.parametrize("rpi", ["tcp", "sctp"])
+
+
+def run(app, n, rpi="sctp", seed=1):
+    return run_app(app, n_procs=n, rpi=rpi, seed=seed, limit_ns=LIMIT).results
+
+
+@BOTH
+@pytest.mark.parametrize("n", SIZES)
+def test_barrier_synchronizes(rpi, n):
+    async def app(comm):
+        kernel = comm.process.kernel
+        # stagger arrival: rank r waits r ms before the barrier
+        await kernel.sleep(comm.rank * 1_000_000)
+        await comm.barrier()
+        return kernel.now
+
+    times = run(app, n, rpi)
+    slowest_arrival = (n - 1) * 1_000_000
+    assert all(t >= slowest_arrival for t in times)
+
+
+@BOTH
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_from_any_root(rpi, n, root):
+    if root >= n:
+        pytest.skip("root outside communicator")
+
+    async def app(comm):
+        data = {"origin": comm.rank} if comm.rank == root else None
+        return await comm.bcast(data, root=root)
+
+    results = run(app, n, rpi)
+    assert results == [{"origin": root}] * n
+
+
+@BOTH
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_sum(rpi, n):
+    async def app(comm):
+        return await comm.reduce(comm.rank + 1, root=0)
+
+    results = run(app, n, rpi)
+    assert results[0] == sum(range(1, n + 1))
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allreduce_custom_op(n):
+    async def app(comm):
+        return await comm.allreduce(comm.rank + 1, op=operator.mul)
+
+    import math
+
+    results = run(app, n)
+    assert results == [math.factorial(n)] * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gather_scatter(n):
+    async def app(comm):
+        gathered = await comm.gather(comm.rank ** 2, root=0)
+        values = [v * 10 for v in gathered] if comm.rank == 0 else None
+        mine = await comm.scatter(values, root=0)
+        return (gathered, mine)
+
+    results = run(app, n)
+    assert results[0][0] == [r ** 2 for r in range(n)]
+    assert [r[1] for r in results] == [r ** 2 * 10 for r in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allgather(n):
+    async def app(comm):
+        return await comm.allgather(chr(ord("a") + comm.rank))
+
+    expected = [chr(ord("a") + r) for r in range(n)]
+    assert run(app, n) == [expected] * n
+
+
+@BOTH
+@pytest.mark.parametrize("n", SIZES)
+def test_alltoall(rpi, n):
+    async def app(comm):
+        out = [f"{comm.rank}->{d}" for d in range(comm.size)]
+        return await comm.alltoall(out)
+
+    results = run(app, n, rpi)
+    for me, received in enumerate(results):
+        assert received == [f"{src}->{me}" for src in range(n)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scan_prefix_sums(n):
+    async def app(comm):
+        return await comm.scan(comm.rank + 1)
+
+    results = run(app, n)
+    assert results == [sum(range(1, r + 2)) for r in range(n)]
+
+
+def test_scatter_validates_root_input():
+    async def app(comm):
+        if comm.rank == 0:
+            with pytest.raises(ValueError):
+                await comm.scatter([1], root=0)  # wrong length
+        await comm.barrier()
+        return True
+
+    assert all(run(app, 2))
+
+
+def test_alltoall_validates_length():
+    async def app(comm):
+        with pytest.raises(ValueError):
+            await comm.alltoall([0])  # must provide size values
+        await comm.barrier()
+        return True
+
+    assert all(run(app, 2))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    values=st.lists(st.integers(-1000, 1000), min_size=2, max_size=6),
+    seed=st.integers(0, 100),
+)
+def test_allreduce_matches_serial_sum(values, seed):
+    """Property: allreduce(sum) equals Python's sum on every rank."""
+
+    async def app(comm):
+        return await comm.allreduce(values[comm.rank])
+
+    results = run_app(
+        app, n_procs=len(values), rpi="sctp", seed=seed, limit_ns=LIMIT
+    ).results
+    assert results == [sum(values)] * len(values)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_collectives_survive_loss(seed):
+    """Collectives stay correct on a lossy fabric (both RPIs)."""
+
+    async def app(comm):
+        total = await comm.allreduce(comm.rank)
+        everyone = await comm.allgather(comm.rank)
+        await comm.barrier()
+        return (total, everyone)
+
+    for rpi in ("tcp", "sctp"):
+        results = run_app(
+            app, n_procs=4, rpi=rpi, seed=seed, loss_rate=0.02, limit_ns=LIMIT
+        ).results
+        assert results == [(6, [0, 1, 2, 3])] * 4

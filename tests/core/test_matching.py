@@ -1,0 +1,141 @@
+"""Message matching: posted receives, unexpected table, MPI ordering."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constants import ANY_SOURCE, ANY_TAG, FLAG_SHORT
+from repro.core.envelope import Envelope
+from repro.core.matching import PostedReceiveQueue, UnexpectedMessageTable
+from repro.core.request import RecvRequest
+from repro.util.blobs import ChunkList, RealBlob
+
+
+def env(tag=0, context=0, rank=0, length=0, seqnum=0):
+    return Envelope(length, tag, context, rank, FLAG_SHORT, seqnum)
+
+
+def recv(source=ANY_SOURCE, tag=ANY_TAG, context=0):
+    return RecvRequest(owner_rank=0, source=source, tag=tag, context=context)
+
+
+def body(data=b"x"):
+    return ChunkList([RealBlob(data)])
+
+
+# ---------------------------------------------------------------------------
+# matching rules
+# ---------------------------------------------------------------------------
+def test_exact_match():
+    r = recv(source=2, tag=5, context=1)
+    assert r.matches(5, 1, 2)
+    assert not r.matches(6, 1, 2)  # wrong tag
+    assert not r.matches(5, 2, 2)  # wrong context
+    assert not r.matches(5, 1, 3)  # wrong source
+
+
+def test_wildcards():
+    assert recv(source=ANY_SOURCE, tag=5).matches(5, 0, 7)
+    assert recv(source=2, tag=ANY_TAG).matches(99, 0, 2)
+    assert recv().matches(1, 0, 1)
+    # context is never a wildcard
+    assert not recv(context=0).matches(1, 1, 1)
+
+
+# ---------------------------------------------------------------------------
+# posted-receive queue
+# ---------------------------------------------------------------------------
+def test_posted_queue_matches_in_post_order():
+    q = PostedReceiveQueue()
+    r1, r2 = recv(tag=ANY_TAG), recv(tag=ANY_TAG)
+    q.add(r1)
+    q.add(r2)
+    assert q.match_and_remove(env(tag=3)) is r1  # earliest posted wins
+    assert q.match_and_remove(env(tag=3)) is r2
+    assert q.match_and_remove(env(tag=3)) is None
+
+
+def test_posted_queue_skips_non_matching():
+    q = PostedReceiveQueue()
+    specific = recv(source=5, tag=1)
+    wildcard = recv()
+    q.add(specific)
+    q.add(wildcard)
+    # message from rank 2: the specific recv doesn't match, wildcard does
+    assert q.match_and_remove(env(tag=1, rank=2)) is wildcard
+    assert len(q) == 1
+
+
+def test_posted_queue_remove():
+    q = PostedReceiveQueue()
+    r = recv()
+    q.add(r)
+    q.remove(r)
+    assert q.match_and_remove(env()) is None
+    q.remove(r)  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# unexpected-message table
+# ---------------------------------------------------------------------------
+def test_unexpected_fifo_per_trc():
+    t = UnexpectedMessageTable()
+    t.add(env(tag=1, rank=0, seqnum=1), body(b"first"))
+    t.add(env(tag=1, rank=0, seqnum=2), body(b"second"))
+    m1 = t.match_and_remove(recv(source=0, tag=1))
+    m2 = t.match_and_remove(recv(source=0, tag=1))
+    assert m1.body.to_bytes() == b"first"
+    assert m2.body.to_bytes() == b"second"
+
+
+def test_unexpected_wildcard_takes_earliest_arrival():
+    t = UnexpectedMessageTable()
+    t.add(env(tag=7, rank=3), body(b"later-tag-earlier?"))
+    t.add(env(tag=2, rank=1), body(b"second-arrival"))
+    # wildcard receive: the first-arrived message wins, regardless of bucket
+    m = t.match_and_remove(recv())
+    assert m.envelope.tag == 7 and m.envelope.rank == 3
+
+
+def test_unexpected_no_match_leaves_table():
+    t = UnexpectedMessageTable()
+    t.add(env(tag=1, rank=0), body())
+    assert t.match_and_remove(recv(source=5)) is None
+    assert len(t) == 1
+
+
+def test_buffered_bytes_accounting():
+    t = UnexpectedMessageTable()
+    t.add(env(tag=1), body(b"12345"))
+    t.add(env(tag=2), None)  # rendezvous envelope: no body buffered
+    assert t.buffered_bytes == 5
+    t.match_and_remove(recv(tag=1))
+    assert t.buffered_bytes == 0
+    assert t.max_buffered_bytes == 5
+
+
+def test_peek_match_for_probe():
+    t = UnexpectedMessageTable()
+    assert t.peek_match(ANY_SOURCE, ANY_TAG, 0) is None
+    t.add(env(tag=4, rank=2, length=10), body(b"0123456789"))
+    peeked = t.peek_match(ANY_SOURCE, ANY_TAG, 0)
+    assert peeked.tag == 4 and peeked.rank == 2 and peeked.length == 10
+    assert len(t) == 1  # peek does not consume
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_same_trc_messages_never_overtake(data):
+    """Property (MPI non-overtaking): for messages sharing a TRC, any mix
+    of posted receives and unexpected buffering yields them in send order."""
+    n = data.draw(st.integers(1, 8))
+    tag = data.draw(st.integers(0, 2))
+    src = data.draw(st.integers(0, 2))
+    t = UnexpectedMessageTable()
+    for seq in range(n):
+        t.add(env(tag=tag, rank=src, seqnum=seq), body(bytes([seq])))
+    got = []
+    for _ in range(n):
+        use_wildcard = data.draw(st.booleans())
+        r = recv() if use_wildcard else recv(source=src, tag=tag)
+        m = t.match_and_remove(r)
+        got.append(m.envelope.seqnum)
+    assert got == sorted(got)

@@ -1,0 +1,48 @@
+"""Cost model arithmetic and documented calibration properties."""
+
+from repro.network import CostModel
+
+
+def test_tcp_cheaper_per_packet_than_sctp():
+    cm = CostModel()
+    assert cm.packet_send_cost("tcp", 1500) < cm.packet_send_cost("sctp", 1500)
+    assert cm.packet_recv_cost("tcp", 1500) < cm.packet_recv_cost("sctp", 1500)
+
+
+def test_crc32c_disabled_by_default():
+    cm = CostModel()
+    # doubling packet size must not change SCTP cost when CRC is off
+    assert cm.packet_send_cost("sctp", 1024) == cm.packet_send_cost("sctp", 2048)
+
+
+def test_crc32c_variant_charges_per_kib():
+    cm = CostModel().with_crc32c()
+    small = cm.packet_send_cost("sctp", 1024)
+    large = cm.packet_send_cost("sctp", 2048)
+    assert large - small == cm.CRC32C_ENABLED_PER_KIB_NS
+    # TCP offloads its checksum to the NIC: unaffected
+    assert cm.packet_send_cost("tcp", 2048) == CostModel().packet_send_cost("tcp", 2048)
+
+
+def test_middleware_io_cost_shape():
+    cm = CostModel()
+    # fixed part: SCTP's young sendmsg path is dearer (Fig. 8 small sizes)
+    assert cm.middleware_io_cost("sctp", 0) > cm.middleware_io_cost("tcp", 0)
+    # per-byte part: TCP's boundary scanning/copies are dearer (large sizes)
+    tcp_slope = cm.middleware_io_cost("tcp", 64 * 1024) - cm.middleware_io_cost("tcp", 0)
+    sctp_slope = cm.middleware_io_cost("sctp", 64 * 1024) - cm.middleware_io_cost("sctp", 0)
+    assert tcp_slope > sctp_slope
+
+
+def test_select_cost_linear_in_sockets():
+    cm = CostModel()
+    base = cm.select_cost(0)
+    assert cm.select_cost(10) == base + 10 * cm.select_per_socket_ns
+    # the paper's scalability point: select over many sockets is expensive
+    assert cm.select_cost(1000) > 100 * base
+
+
+def test_unknown_proto_gets_only_ip_cost():
+    cm = CostModel()
+    assert cm.packet_send_cost("icmp", 100) == cm.ip_send_ns
+    assert cm.packet_recv_cost("icmp", 100) == cm.ip_recv_ns

@@ -1,0 +1,69 @@
+"""Dummynet pipe: seeded Bernoulli loss + extra delay."""
+
+import pytest
+
+from repro.network import DummynetPipe, Packet
+from repro.simkernel import Kernel
+
+
+def pkt(i=0):
+    return Packet(src="a", dst="b", proto="t", payload=i, wire_size=100)
+
+
+def test_zero_loss_passes_everything():
+    k = Kernel(seed=1)
+    got = []
+    pipe = DummynetPipe(k, "p", loss_rate=0.0, sink=got.append)
+    for i in range(100):
+        pipe(pkt(i))
+    assert len(got) == 100 and pipe.dropped_packets == 0
+
+
+def test_loss_rate_statistics():
+    k = Kernel(seed=2)
+    got = []
+    pipe = DummynetPipe(k, "p", loss_rate=0.1, sink=got.append)
+    n = 5000
+    for i in range(n):
+        pipe(pkt(i))
+    drop_fraction = pipe.dropped_packets / n
+    assert 0.07 < drop_fraction < 0.13  # ~3 sigma around 10%
+
+
+def test_same_seed_same_drops():
+    def run(seed):
+        k = Kernel(seed=seed)
+        got = []
+        pipe = DummynetPipe(k, "p", loss_rate=0.2, sink=got.append)
+        for i in range(200):
+            pipe(pkt(i))
+        return [p.payload for p in got]
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_extra_delay():
+    k = Kernel(seed=1)
+    times = []
+    pipe = DummynetPipe(k, "p", extra_delay_ns=500, sink=lambda p: times.append(k.now))
+    pipe(pkt())
+    k.run()
+    assert times == [500]
+
+
+def test_invalid_config_rejected():
+    k = Kernel()
+    with pytest.raises(ValueError):
+        DummynetPipe(k, "p", loss_rate=1.0)
+    with pytest.raises(ValueError):
+        DummynetPipe(k, "p", loss_rate=-0.1)
+    with pytest.raises(ValueError):
+        DummynetPipe(k, "p", extra_delay_ns=-1)
+
+
+def test_unconnected_pipe_raises():
+    k = Kernel()
+    pipe = DummynetPipe(k, "p")
+    with pytest.raises(RuntimeError):
+        pipe(pkt())

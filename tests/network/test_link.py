@@ -1,0 +1,92 @@
+"""Link: serialization, propagation, FIFO queueing, tail drop."""
+
+from repro.network import Link, Packet
+from repro.simkernel import GBIT_PER_S, Kernel
+
+
+def pkt(size, payload="p"):
+    return Packet(src="a", dst="b", proto="test", payload=payload, wire_size=size)
+
+
+def collector(out):
+    def sink(packet):
+        out.append(packet)
+
+    return sink
+
+
+def test_serialization_plus_propagation():
+    k = Kernel()
+    got = []
+    link = Link(k, "l", GBIT_PER_S, prop_delay_ns=5_000, sink=None)
+    link.connect(lambda p: got.append(k.now))
+    link.send(pkt(1500))  # 12 us serialize + 5 us propagate
+    k.run()
+    assert got == [17_000]
+
+
+def test_back_to_back_packets_serialize():
+    k = Kernel()
+    times = []
+    link = Link(k, "l", GBIT_PER_S, prop_delay_ns=0)
+    link.connect(lambda p: times.append(k.now))
+    link.send(pkt(1500))
+    link.send(pkt(1500))
+    k.run()
+    assert times == [12_000, 24_000]
+
+
+def test_fifo_order_preserved():
+    k = Kernel()
+    seen = []
+    link = Link(k, "l", GBIT_PER_S, prop_delay_ns=1_000)
+    link.connect(lambda p: seen.append(p.payload))
+    for i in range(5):
+        link.send(pkt(600, payload=i))
+    k.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_tail_drop_when_queue_full():
+    k = Kernel()
+    got = []
+    link = Link(k, "l", GBIT_PER_S, prop_delay_ns=0, queue_bytes=3000)
+    link.connect(collector(got))
+    results = [link.send(pkt(1500)) for _ in range(3)]
+    assert results == [True, True, False]
+    assert link.dropped_packets == 1 and link.dropped_bytes == 1500
+    k.run()
+    assert len(got) == 2
+
+
+def test_queue_drains_and_accepts_again():
+    k = Kernel()
+    got = []
+    link = Link(k, "l", GBIT_PER_S, prop_delay_ns=0, queue_bytes=1500)
+    link.connect(collector(got))
+    assert link.send(pkt(1500))
+    assert not link.send(pkt(1500))
+    k.run()
+    assert link.queued_bytes == 0
+    assert link.send(pkt(1500))
+    k.run()
+    assert len(got) == 2
+
+
+def test_stats():
+    k = Kernel()
+    link = Link(k, "l", GBIT_PER_S, prop_delay_ns=0)
+    link.connect(lambda p: None)
+    link.send(pkt(100))
+    link.send(pkt(200))
+    k.run()
+    assert link.tx_packets == 2 and link.tx_bytes == 300
+
+
+def test_send_without_sink_raises():
+    import pytest
+
+    k = Kernel()
+    link = Link(k, "l", GBIT_PER_S, prop_delay_ns=0)
+    with pytest.raises(RuntimeError):
+        link.send(pkt(10))

@@ -1,0 +1,168 @@
+"""Future/Task semantics."""
+
+import pytest
+
+from repro.simkernel import CancelledError, Future, Kernel
+from repro.simkernel.futures import InvalidStateError
+
+
+def test_future_result_roundtrip():
+    f = Future()
+    assert not f.done()
+    f.set_result(42)
+    assert f.done() and f.result() == 42 and f.exception() is None
+
+
+def test_future_exception():
+    f = Future()
+    f.set_exception(RuntimeError("x"))
+    assert f.done()
+    with pytest.raises(RuntimeError):
+        f.result()
+    assert isinstance(f.exception(), RuntimeError)
+
+
+def test_double_completion_rejected():
+    f = Future()
+    f.set_result(1)
+    with pytest.raises(InvalidStateError):
+        f.set_result(2)
+    with pytest.raises(InvalidStateError):
+        f.set_exception(ValueError())
+
+
+def test_result_before_done_rejected():
+    with pytest.raises(InvalidStateError):
+        Future().result()
+
+
+def test_cancel():
+    f = Future()
+    assert f.cancel()
+    assert f.cancelled()
+    assert not f.cancel()  # second cancel is a no-op
+    with pytest.raises(CancelledError):
+        f.result()
+
+
+def test_done_callback_immediate_and_deferred():
+    seen = []
+    f = Future()
+    f.add_done_callback(lambda fut: seen.append("deferred"))
+    f.set_result(None)
+    f.add_done_callback(lambda fut: seen.append("immediate"))
+    assert seen == ["deferred", "immediate"]
+
+
+def test_task_returns_coroutine_value():
+    k = Kernel()
+
+    async def compute():
+        await k.sleep(5)
+        return "done"
+
+    task = k.spawn(compute())
+    k.run()
+    assert task.result() == "done"
+
+
+def test_task_propagates_exception():
+    k = Kernel()
+
+    async def fail():
+        await k.sleep(1)
+        raise KeyError("missing")
+
+    task = k.spawn(fail())
+    k.run()
+    with pytest.raises(KeyError):
+        task.result()
+
+
+def test_task_awaits_chain():
+    k = Kernel()
+
+    async def inner():
+        await k.sleep(3)
+        return 7
+
+    async def outer():
+        value = await k.spawn(inner())
+        return value * 2
+
+    task = k.spawn(outer())
+    k.run()
+    assert task.result() == 14
+
+
+def test_task_awaiting_non_awaitable_fails_task():
+    k = Kernel()
+
+    async def bad():
+        await object()  # type: ignore[misc]
+
+    task = k.spawn(bad())
+    k.run()
+    assert isinstance(task.exception(), TypeError)
+
+
+def test_task_yielding_non_future_is_error():
+    import types
+
+    k = Kernel()
+
+    @types.coroutine
+    def alien():
+        yield "not-a-future"
+
+    async def bad():
+        await alien()
+
+    with pytest.raises(TypeError, match="only simkernel Futures"):
+        k.spawn(bad())
+
+
+def test_task_cancel_interrupts_coroutine():
+    k = Kernel()
+    witness = []
+
+    async def app():
+        try:
+            await k.sleep(1000)
+        except CancelledError:
+            witness.append("cancelled")
+            raise
+
+    task = k.spawn(app())
+    k.call_after(10, task.cancel)
+    k.run()
+    assert witness == ["cancelled"]
+    assert task.cancelled()
+
+
+def test_task_can_catch_cancellation_and_finish():
+    k = Kernel()
+
+    async def stubborn():
+        try:
+            await k.sleep(1000)
+        except CancelledError:
+            return "survived"
+
+    task = k.spawn(stubborn())
+    k.call_after(10, task.cancel)
+    k.run()
+    assert task.result() == "survived"
+
+
+def test_await_completed_future_resumes_synchronously():
+    k = Kernel()
+    pre = Future()
+    pre.set_result("ready")
+
+    async def app():
+        return await pre
+
+    task = k.spawn(app())
+    # no kernel.run() needed: awaiting a done future never suspends
+    assert task.result() == "ready"

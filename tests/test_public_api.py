@@ -1,0 +1,33 @@
+"""The package's top-level public API surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_docstring_example_runs():
+    async def app(comm):
+        return await comm.allreduce(comm.rank)
+
+    result = repro.run_app(app, n_procs=8, rpi="sctp", loss_rate=0.01, seed=0)
+    assert result.results == [28] * 8
+
+
+def test_world_config_round_trip():
+    config = repro.WorldConfig(n_procs=3, rpi="tcp", loss_rate=0.005, seed=9)
+    world = repro.World(config)
+    assert world.config is config
+    assert len(world.processes) == 3
+
+
+def test_constants():
+    assert repro.ANY_SOURCE == -1
+    assert repro.ANY_TAG == -1
+    assert repro.EAGER_LIMIT == 64 * 1024

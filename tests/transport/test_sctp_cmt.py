@@ -1,0 +1,91 @@
+"""Concurrent Multipath Transfer (paper §5 / [13,14] — future work built).
+
+CMT stripes new data across every active path; split fast retransmit
+(per-path HTNA) keeps cross-path reordering from triggering spurious
+retransmissions — the exact problem Iyengar et al.'s CMT work solves.
+"""
+
+from repro.simkernel import SECOND
+from repro.transport.sctp import SCTPConfig
+from repro.util.blobs import RealBlob, SyntheticBlob
+
+from ..conftest import make_cluster, sctp_pair
+from .test_sctp_transfer import pump_messages
+
+
+def cmt_config(**kw):
+    return SCTPConfig(cmt=True, **kw)
+
+
+def _bulk_transfer_time(kernel, s0, s1, aid, total_bytes, piece=64_000):
+    n = total_bytes // piece
+    sent = 0
+
+    async def sender():
+        nonlocal sent
+        while sent < n:
+            if s0.sendmsg(aid, 0, SyntheticBlob(piece)):
+                sent += 1
+            else:
+                await kernel.sleep(200_000)
+
+    start = kernel.now
+    kernel.spawn(sender())
+    pump_messages(kernel, s1, n, limit_s=600)
+    return kernel.now - start
+
+
+def test_cmt_uses_both_paths():
+    kernel, cluster = make_cluster(n_hosts=2, n_paths=2)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=cmt_config())
+    _bulk_transfer_time(kernel, s0, s1, aid, 1_000_000)
+    assoc = s0.association(aid)
+    sent_per_path = {a: p.bytes_sent for a, p in assoc.paths.items()}
+    # both paths carried data... bytes_sent tracked via outstanding
+    # accounting; check via path cwnd growth instead (both grew past initial)
+    grown = [p for p in assoc.paths.values() if p.cwnd > 4380]
+    assert len(grown) == 2, f"both paths must carry data: {assoc.paths}"
+
+
+def test_cmt_doubles_bulk_throughput():
+    def run(n_paths, cmt):
+        kernel, cluster = make_cluster(n_hosts=2, n_paths=n_paths)
+        cfg = SCTPConfig(cmt=cmt)
+        s0, s1, aid = sctp_pair(kernel, cluster, config=cfg)
+        return _bulk_transfer_time(kernel, s0, s1, aid, 2_000_000)
+
+    single = run(n_paths=1, cmt=False)
+    multi = run(n_paths=2, cmt=True)
+    speedup = single / multi
+    assert speedup > 1.5, f"CMT speedup only {speedup:.2f}x"
+
+
+def test_cmt_integrity_and_ordering_under_loss():
+    kernel, cluster = make_cluster(n_hosts=2, n_paths=2, loss_rate=0.02, seed=6)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=cmt_config())
+    bodies = [bytes([i % 251]) * (2_000 + 911 * i) for i in range(20)]
+    for i, body in enumerate(bodies):
+        assert s0.sendmsg(aid, i % 4, RealBlob(body))
+    msgs = pump_messages(kernel, s1, len(bodies), limit_s=600)
+    assert sorted(m.data.to_bytes() for m in msgs) == sorted(bodies)
+    per_stream = {}
+    for m in msgs:
+        per_stream.setdefault(m.stream, []).append(m.ssn)
+    assert all(v == sorted(v) for v in per_stream.values())
+
+
+def test_split_fast_retransmit_suppresses_spurious_rtx():
+    """Without SFR, cross-path reordering would mark chunks missing on
+    every SACK; with it, retransmissions stay near the true drop count."""
+    kernel, cluster = make_cluster(n_hosts=2, n_paths=2, loss_rate=0.01, seed=3)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=cmt_config())
+    _bulk_transfer_time(kernel, s0, s1, aid, 1_500_000)
+    assoc = s0.association(aid)
+    drops = cluster.total_dropped()
+    assert assoc.stats.retransmitted_chunks <= 3 * drops + 5, (
+        f"rtx={assoc.stats.retransmitted_chunks} vs drops={drops}"
+    )
+
+
+def test_cmt_off_by_default():
+    assert SCTPConfig().cmt is False

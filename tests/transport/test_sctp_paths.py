@@ -1,0 +1,163 @@
+"""Path state, multihoming, heartbeats, failover (paper §3.5.1)."""
+
+from repro.simkernel import SECOND
+from repro.transport.sctp import SCTPConfig
+from repro.transport.sctp.paths import ACTIVE, INACTIVE, PathState
+from repro.util.blobs import RealBlob, SyntheticBlob
+
+from ..conftest import make_cluster, sctp_pair
+from .test_sctp_transfer import pump_messages
+
+MTU = 1452
+
+
+def make_path(**kw):
+    return PathState("10.0.0.2", mtu_payload=MTU, initial_peer_rwnd=220 * 1024, **kw)
+
+
+# ---------------------------------------------------------------------------
+# PathState unit tests
+# ---------------------------------------------------------------------------
+def test_initial_cwnd_rfc4960():
+    p = make_path()
+    assert p.cwnd == min(4 * MTU, max(2 * MTU, 4380))
+    assert p.in_slow_start  # cwnd <= ssthresh
+
+
+def test_one_byte_rule():
+    p = make_path()
+    p.outstanding_bytes = p.cwnd - 1
+    assert p.can_send()  # any space at all admits a full PMTU
+    p.outstanding_bytes = p.cwnd
+    assert not p.can_send()
+
+
+def test_slow_start_byte_counting():
+    p = make_path()
+    before = p.cwnd
+    p.on_bytes_acked(10_000, cwnd_was_full=True)
+    assert p.cwnd == before + MTU  # growth capped at one PMTU per SACK
+    before = p.cwnd
+    p.on_bytes_acked(500, cwnd_was_full=True)
+    assert p.cwnd == before + 500  # ... and at the bytes actually acked
+    before = p.cwnd
+    p.on_bytes_acked(500, cwnd_was_full=False)
+    assert p.cwnd == before  # idle windows never grow
+
+
+def test_congestion_avoidance_partial_bytes():
+    p = make_path()
+    p.ssthresh = p.cwnd - 1  # force CA
+    grown = 0
+    for _ in range(10):
+        before = p.cwnd
+        p.on_bytes_acked(MTU, cwnd_was_full=True)
+        grown += p.cwnd - before
+    assert 0 < grown <= 4 * MTU  # roughly one PMTU per cwnd of data
+
+
+def test_fast_retransmit_halves_once_per_loss_event():
+    p = make_path()
+    p.cwnd = 20 * MTU
+    p.on_fast_retransmit(highest_outstanding_tsn=100)
+    halved = p.cwnd
+    assert halved == max(10 * MTU, 4 * MTU)
+    p.on_fast_retransmit(highest_outstanding_tsn=101)  # same event window
+    assert p.cwnd == halved  # NewReno-SCTP: no double halving
+    p.on_cum_advance(100)  # loss event fully repaired
+    p.on_fast_retransmit(highest_outstanding_tsn=200)
+    assert p.cwnd < halved
+
+
+def test_timeout_collapses_to_one_mtu():
+    p = make_path()
+    p.cwnd = 30 * MTU
+    p.on_timeout()
+    assert p.cwnd == MTU
+    assert p.ssthresh == max(15 * MTU, 4 * MTU)
+
+
+def test_error_counting_and_reactivation():
+    p = make_path(path_max_retrans=2)
+    for _ in range(3):
+        p.note_error()
+    assert p.state == INACTIVE
+    p.note_success()
+    assert p.state == ACTIVE and p.error_count == 0
+
+
+# ---------------------------------------------------------------------------
+# multihoming end-to-end
+# ---------------------------------------------------------------------------
+def failover_config():
+    return SCTPConfig(path_max_retrans=1, heartbeat_interval_ns=2 * SECOND)
+
+
+def test_association_learns_all_peer_addresses():
+    kernel, cluster = make_cluster(n_hosts=2, n_paths=2)
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    assoc = s0.association(aid)
+    assert set(assoc.paths) == {"10.0.0.2", "10.1.0.2"}
+    assert assoc.primary_addr == "10.0.0.2"
+
+
+def test_failover_to_alternate_path():
+    kernel, cluster = make_cluster(n_hosts=2, n_paths=2)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=failover_config())
+    assoc = s0.association(aid)
+    # sever the primary subnet, then send
+    cluster.fail_path(0)
+    sent = 0
+    bodies = 6
+
+    async def sender():
+        nonlocal sent
+        while sent < bodies:
+            if s0.sendmsg(aid, 0, SyntheticBlob(2_000)):
+                sent += 1
+            else:
+                await kernel.sleep(5_000_000)
+
+    kernel.spawn(sender())
+    msgs = pump_messages(kernel, s1, bodies, limit_s=300)
+    assert len(msgs) == bodies
+    assert assoc.paths["10.0.0.2"].state == INACTIVE
+    assert assoc.paths["10.1.0.2"].state == ACTIVE
+    assert assoc.stats.failovers > 0
+
+
+def test_retransmissions_prefer_alternate_path():
+    """§4.1.1 final bullet: with both paths alive, a retransmission goes
+    to an alternate active address, not the path that lost the chunk."""
+    kernel, cluster = make_cluster(n_hosts=2, n_paths=2, loss_rate=0.05, seed=8)
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    assoc = s0.association(aid)
+    for i in range(20):
+        s0.sendmsg(aid, 0, RealBlob(b"r" * 4_000))
+    pump_messages(kernel, s1, 20, limit_s=300)
+    assert assoc.stats.retransmitted_chunks > 0
+    assert assoc.stats.failovers > 0  # retransmits moved to the alternate
+
+
+def test_heartbeats_probe_idle_paths():
+    kernel, cluster = make_cluster(n_hosts=2, n_paths=2)
+    cfg = SCTPConfig(heartbeat_interval_ns=1 * SECOND)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=cfg)
+    assoc = s0.association(aid)
+    kernel.run(until=kernel.now + 10 * SECOND)
+    # the alternate path has carried no data; only heartbeats keep its RTT
+    alt = assoc.paths["10.1.0.2"]
+    assert alt.rto.srtt_ns is not None  # heartbeat-ack produced an RTT sample
+    assert alt.state == ACTIVE
+
+
+def test_set_primary():
+    import pytest
+
+    kernel, cluster = make_cluster(n_hosts=2, n_paths=2)
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    assoc = s0.association(aid)
+    assoc.set_primary("10.1.0.2")
+    assert assoc.primary_addr == "10.1.0.2"
+    with pytest.raises(ValueError):
+        assoc.set_primary("10.9.9.9")

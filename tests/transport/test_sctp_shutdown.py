@@ -1,0 +1,98 @@
+"""Association teardown: graceful shutdown, abort, autoclose."""
+
+import pytest
+
+from repro.simkernel import SECOND
+from repro.transport.sctp import SCTPConfig
+from repro.util.blobs import RealBlob
+
+from ..conftest import make_cluster, sctp_pair
+from .test_sctp_transfer import pump_messages
+
+
+def test_graceful_shutdown_completes_both_sides():
+    kernel, cluster = make_cluster()
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    assoc = s0.association(aid)
+    kernel.run(until=kernel.now + 1 * SECOND)
+    server_assoc = next(iter(s1._assocs.values()))
+    assoc.close()
+    kernel.run(until=kernel.now + 20 * SECOND)
+    assert assoc.state == "CLOSED"
+    assert server_assoc.state == "CLOSED"
+
+
+def test_shutdown_delivers_pending_data_first():
+    kernel, cluster = make_cluster()
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    s0.sendmsg(aid, 0, RealBlob(b"last words"))
+    s0.association(aid).close()
+    msgs = pump_messages(kernel, s1, 1)
+    assert msgs[0].data.to_bytes() == b"last words"
+    kernel.run(until=kernel.now + 20 * SECOND)
+    assert s0.association.__self__ if False else True  # assoc gone from socket
+    assert aid not in s0._assocs
+
+
+def test_no_half_closed_state():
+    """After close(), *neither* side may send new data — unlike TCP's
+    half-closed state (paper §3.5.2)."""
+    kernel, cluster = make_cluster()
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    assoc = s0.association(aid)
+    assoc.close()
+    with pytest.raises(BrokenPipeError):
+        assoc.send_message(0, RealBlob(b"too late"))
+
+
+def test_abort_tears_down_immediately():
+    kernel, cluster = make_cluster()
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    kernel.run(until=kernel.now + 1 * SECOND)
+    server_assoc = next(iter(s1._assocs.values()))
+    closed = []
+    s1.on_assoc_down = lambda a, err: closed.append((a, err))
+    s0.association(aid).abort("test abort")
+    kernel.run(until=kernel.now + 2 * SECOND)
+    assert server_assoc.state == "CLOSED"
+    assert closed and "test abort" in closed[0][1]
+
+
+def test_autoclose_idle_association():
+    """The paper's §3.5.2 autoclose option: an idle association closes
+    itself after the configured interval."""
+    kernel, cluster = make_cluster()
+    cfg = SCTPConfig(autoclose_ns=3 * SECOND)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=cfg)
+    assoc = s0.association(aid)
+    s0.sendmsg(aid, 0, RealBlob(b"only message"))
+    pump_messages(kernel, s1, 1)
+    assert assoc.state == "ESTABLISHED"
+    kernel.run(until=kernel.now + 30 * SECOND)
+    assert assoc.state == "CLOSED"
+
+
+def test_autoclose_disabled_by_default():
+    kernel, cluster = make_cluster()
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    s0.sendmsg(aid, 0, RealBlob(b"m"))
+    pump_messages(kernel, s1, 1)
+    kernel.run(until=kernel.now + 120 * SECOND)
+    assert s0.association(aid).state == "ESTABLISHED"
+
+
+def test_socket_close_shuts_all_associations():
+    kernel, cluster = make_cluster(n_hosts=3)
+    from repro.transport.sctp import OneToManySocket, SCTPEndpoint
+
+    cfg = SCTPConfig()
+    eps = [SCTPEndpoint(h, cfg) for h in cluster.hosts]
+    socks = [OneToManySocket(e, 6000, cfg) for e in eps]
+    f1 = socks[0].connect(cluster.host_address(1), 6000)
+    f2 = socks[0].connect(cluster.host_address(2), 6000)
+    kernel.run_until(f1, limit=10 * SECOND)
+    kernel.run_until(f2, limit=10 * SECOND)
+    assert len(socks[0]._assocs) == 2
+    socks[0].close()
+    kernel.run(until=kernel.now + 30 * SECOND)
+    assert len(socks[0]._assocs) == 0

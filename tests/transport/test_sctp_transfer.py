@@ -1,0 +1,141 @@
+"""SCTP data transfer: framing, fragmentation, ordering, flow control."""
+
+import pytest
+
+from repro.simkernel import SECOND
+from repro.transport.sctp import MessageTooBig, SCTPConfig
+from repro.util.blobs import RealBlob, SyntheticBlob
+
+from ..conftest import make_cluster, sctp_pair
+
+
+def pump_messages(kernel, sock, count, limit_s=120):
+    """Collect `count` messages from a socket, driving the kernel."""
+    out = []
+    deadline = kernel.now + limit_s * SECOND
+
+    async def reader():
+        while len(out) < count:
+            out.append(await sock.recvmsg_wait())
+
+    task = kernel.spawn(reader())
+    kernel.run_until(task, limit=deadline)
+    return out
+
+
+def test_message_framing_preserved():
+    kernel, cluster = make_cluster()
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    for body in (b"one", b"two longer", b"three even longer message"):
+        assert s0.sendmsg(aid, 0, RealBlob(body))
+    msgs = pump_messages(kernel, s1, 3)
+    # message boundaries survive: three distinct messages, not a stream
+    assert [m.data.to_bytes() for m in msgs] == [
+        b"one", b"two longer", b"three even longer message",
+    ]
+
+
+def test_large_message_fragmented_and_reassembled():
+    kernel, cluster = make_cluster()
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    body = bytes(range(256)) * 250  # 64 000 bytes -> ~45 chunks
+    assert s0.sendmsg(aid, 3, RealBlob(body))
+    msgs = pump_messages(kernel, s1, 1)
+    assert msgs[0].data.to_bytes() == body
+    assert msgs[0].stream == 3
+    assert s0.association(aid).stats.data_chunks_sent > 20
+
+
+def test_message_above_sendmsg_limit_rejected():
+    kernel, cluster = make_cluster()
+    cfg = SCTPConfig(sndbuf=50_000)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=cfg)
+    with pytest.raises(MessageTooBig):
+        s0.sendmsg(aid, 0, SyntheticBlob(50_001))
+
+
+def test_sendmsg_eagain_when_buffer_full():
+    kernel, cluster = make_cluster()
+    cfg = SCTPConfig(sndbuf=40_000)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=cfg)
+    accepted = 0
+    while s0.sendmsg(aid, 0, SyntheticBlob(10_000)):
+        accepted += 1
+    assert accepted == 4  # exactly sndbuf worth
+    # drain at the receiver; the buffer must reopen
+    pump_messages(kernel, s1, 4)
+    kernel.run(until=kernel.now + 2 * SECOND)
+    assert s0.sendmsg(aid, 0, SyntheticBlob(10_000))
+
+
+def test_per_stream_ssn_assignment():
+    kernel, cluster = make_cluster()
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    s0.sendmsg(aid, 0, RealBlob(b"a0"))
+    s0.sendmsg(aid, 1, RealBlob(b"b0"))
+    s0.sendmsg(aid, 0, RealBlob(b"a1"))
+    msgs = pump_messages(kernel, s1, 3)
+    ssns = {(m.stream, m.data.to_bytes()): m.ssn for m in msgs}
+    assert ssns[(0, b"a0")] == 0
+    assert ssns[(0, b"a1")] == 1
+    assert ssns[(1, b"b0")] == 0
+
+
+def test_unordered_delivery_flag():
+    kernel, cluster = make_cluster()
+    s0, s1, aid = sctp_pair(kernel, cluster)
+    s0.sendmsg(aid, 0, RealBlob(b"u"), unordered=True)
+    msgs = pump_messages(kernel, s1, 1)
+    assert msgs[0].unordered
+
+
+def test_flow_control_rwnd_throttles_sender():
+    """Receiver never reads: a_rwnd closes and the sender's outstanding
+    data is bounded by the receive buffer."""
+    kernel, cluster = make_cluster()
+    cfg = SCTPConfig(sndbuf=500_000, rcvbuf=60_000)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=cfg)
+    sent = 0
+    for _ in range(40):
+        if s0.sendmsg(aid, 0, SyntheticBlob(10_000)):
+            sent += 1
+    kernel.run(until=kernel.now + 10 * SECOND)
+    assoc = s0.association(aid)
+    delivered_not_read = sum(m.nbytes for m in s1._inbox)
+    # everything delivered so far is parked in the (bounded) receive buffer,
+    # plus at most a few RTO-paced zero-window probe chunks
+    assert delivered_not_read <= 60_000 + 12 * 1452
+    assert assoc.peer_rwnd <= 1452  # window essentially closed
+    # reading reopens the window and the rest flows
+    total_expected = sent
+    got = pump_messages(kernel, s1, total_expected)
+    assert len(got) == total_expected
+
+
+def test_bidirectional_transfer():
+    kernel, cluster = make_cluster()
+    s0, s1, aid0 = sctp_pair(kernel, cluster)
+    kernel.run(until=kernel.now + 1 * SECOND)
+    server_assoc = next(iter(s1._assocs.values()))
+    s0.sendmsg(aid0, 0, RealBlob(b"ping"))
+    s1.sendmsg(server_assoc.assoc_id, 0, RealBlob(b"pong"))
+    got0 = pump_messages(kernel, s0, 1)
+    got1 = pump_messages(kernel, s1, 1)
+    assert got0[0].data.to_bytes() == b"pong"
+    assert got1[0].data.to_bytes() == b"ping"
+
+
+def test_one_to_one_socket_style():
+    from repro.transport.sctp import OneToOneSocket, SCTPEndpoint, OneToManySocket
+
+    kernel, cluster = make_cluster()
+    cfg = SCTPConfig()
+    e0 = SCTPEndpoint(cluster.hosts[0], cfg)
+    e1 = SCTPEndpoint(cluster.hosts[1], cfg)
+    server = OneToManySocket(e1, 6100, cfg)  # acceptor side
+    client = OneToOneSocket(e0, cfg)
+    fut = client.connect(cluster.host_address(1), 6100)
+    kernel.run_until(fut, limit=10 * SECOND)
+    assert client.sendmsg(0, RealBlob(b"hello 1-1"))
+    got = pump_messages(kernel, server, 1)
+    assert got[0].data.to_bytes() == b"hello 1-1"

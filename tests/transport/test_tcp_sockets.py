@@ -1,0 +1,80 @@
+"""Socket facade + Selector (select() semantics and costs)."""
+
+from repro.simkernel import SECOND
+from repro.transport.tcp import Selector
+from repro.util.blobs import RealBlob
+
+from ..conftest import make_cluster, tcp_pair
+
+
+def test_readable_writable_flags():
+    kernel, cluster = make_cluster()
+    client, server, _ = tcp_pair(kernel, cluster)
+    assert client.writable and not client.readable
+    client.send(RealBlob(b"ping"))
+    kernel.run(until=kernel.now + 1 * SECOND)
+    assert server.readable
+    server.recv(100)
+    assert not server.readable
+
+
+def test_selector_resolves_on_readability():
+    kernel, cluster = make_cluster()
+    client, server, _ = tcp_pair(kernel, cluster)
+    selector = Selector(cluster.hosts[1])
+    fut = selector.wait([server])
+    assert not fut.done()
+    client.send(RealBlob(b"data"))
+    kernel.run(until=kernel.now + 1 * SECOND)
+    readable, writable = fut.result()
+    assert readable == [server] and writable == []
+
+
+def test_selector_immediate_when_already_ready():
+    kernel, cluster = make_cluster()
+    client, server, _ = tcp_pair(kernel, cluster)
+    fut = Selector(cluster.hosts[0]).wait([], [client])  # writable now
+    assert fut.done()
+    assert fut.result() == ([], [client])
+
+
+def test_selector_charges_cpu_per_call():
+    kernel, cluster = make_cluster()
+    client, server, _ = tcp_pair(kernel, cluster)
+    host = cluster.hosts[0]
+    busy_before = host.cpu.total_busy_ns
+    Selector(host).wait([], [client])
+    expected = host.cost_model.select_cost(1)
+    assert host.cpu.total_busy_ns - busy_before == expected
+
+
+def test_selector_cancel_wait():
+    kernel, cluster = make_cluster()
+    client, server, _ = tcp_pair(kernel, cluster)
+    selector = Selector(cluster.hosts[1])
+    fut = selector.wait([server])
+    selector.cancel_wait()
+    assert fut.result() == ([], [])
+    # a new wait can be issued afterwards
+    fut2 = selector.wait([server])
+    assert not fut2.done()
+
+
+def test_selector_rejects_concurrent_waits():
+    import pytest
+
+    kernel, cluster = make_cluster()
+    client, server, _ = tcp_pair(kernel, cluster)
+    selector = Selector(cluster.hosts[1])
+    selector.wait([server])
+    with pytest.raises(RuntimeError):
+        selector.wait([server])
+
+
+def test_eof_makes_socket_readable():
+    kernel, cluster = make_cluster()
+    client, server, _ = tcp_pair(kernel, cluster)
+    client.close()
+    kernel.run(until=kernel.now + 2 * SECOND)
+    assert server.readable
+    assert server.recv(10).nbytes == 0  # EOF

@@ -1,0 +1,73 @@
+"""Bulk Processor Farm: correctness across protocols, loss, fanout."""
+
+import pytest
+
+from repro.workloads.farm import FarmParams, run_farm
+
+LIMIT = 30_000_000_000_000
+BOTH = pytest.mark.parametrize("rpi", ["tcp", "sctp"])
+
+
+def small(num_tasks=60, fanout=1, task_size=30 * 1024):
+    return FarmParams(
+        num_tasks=num_tasks,
+        task_size=task_size,
+        fanout=fanout,
+        compute_seconds_per_task=0.002,
+    )
+
+
+@BOTH
+def test_all_tasks_complete(rpi):
+    r = run_farm(rpi, small(), seed=1, limit_ns=LIMIT)
+    assert r.tasks_done == 60
+    assert sum(r.per_worker_tasks.values()) == 60
+
+
+@BOTH
+def test_all_tasks_complete_under_loss(rpi):
+    r = run_farm(rpi, small(), loss_rate=0.02, seed=2, limit_ns=LIMIT)
+    assert r.tasks_done == 60
+
+
+@BOTH
+@pytest.mark.parametrize("fanout", [1, 3, 10])
+def test_fanout_variants(rpi, fanout):
+    r = run_farm(rpi, small(num_tasks=50, fanout=fanout), seed=3, limit_ns=LIMIT)
+    assert r.tasks_done == 50
+
+
+def test_fanout_under_loss_with_streams_and_without():
+    params = small(num_tasks=40, fanout=10)
+    for streams in (10, 1):
+        r = run_farm(
+            "sctp", params, loss_rate=0.02, seed=4, num_streams=streams,
+            limit_ns=LIMIT,
+        )
+        assert r.tasks_done == 40
+
+
+def test_long_tasks():
+    r = run_farm("sctp", small(num_tasks=20, task_size=300 * 1024), seed=5, limit_ns=LIMIT)
+    assert r.tasks_done == 20
+
+
+def test_work_is_distributed_across_workers():
+    r = run_farm("sctp", small(num_tasks=70), seed=6, limit_ns=LIMIT)
+    busy_workers = [w for w, n in r.per_worker_tasks.items() if n > 0]
+    assert len(busy_workers) == 7  # every worker got something
+
+
+def test_tcp_degrades_more_than_sctp_under_loss():
+    """The paper's headline at workload scale (Fig. 10's direction)."""
+    params = small(num_tasks=150, fanout=1)
+    tcp = run_farm("tcp", params, loss_rate=0.02, seed=1, limit_ns=LIMIT)
+    sctp = run_farm("sctp", params, loss_rate=0.02, seed=1, limit_ns=LIMIT)
+    assert tcp.elapsed_s > 1.5 * sctp.elapsed_s
+
+
+def test_two_process_farm_edge_case():
+    # one manager, one worker
+    r = run_farm("sctp", small(num_tasks=25), n_procs=2, seed=7, limit_ns=LIMIT)
+    assert r.tasks_done == 25
+    assert r.per_worker_tasks == {1: 25}

@@ -1,0 +1,40 @@
+"""Fig. 4/5 microscenario invariants."""
+
+from repro.workloads.hol_micro import run_hol_micro
+
+LIMIT = 20_000_000_000_000
+
+
+def test_tcp_never_delivers_b_first():
+    """TCP's byte stream makes out-of-order completion impossible."""
+    r = run_hol_micro("tcp", iterations=20, loss_rate=0.02, seed=2, limit_ns=LIMIT)
+    assert r.b_completed_first == 0
+
+
+def test_sctp_overtakes_under_loss():
+    r = run_hol_micro("sctp", iterations=40, loss_rate=0.02, seed=2, limit_ns=LIMIT)
+    assert r.b_completed_first > 0
+
+
+def test_single_stream_sctp_cannot_overtake():
+    """num_streams=1 removes the mechanism: behaves like a byte pipe."""
+    r = run_hol_micro(
+        "sctp", iterations=30, loss_rate=0.02, seed=2, num_streams=1,
+        limit_ns=LIMIT,
+    )
+    assert r.b_completed_first == 0
+
+
+def test_no_loss_no_overtaking_needed():
+    tcp = run_hol_micro("tcp", iterations=10, loss_rate=0.0, seed=1, limit_ns=LIMIT)
+    sctp = run_hol_micro("sctp", iterations=10, loss_rate=0.0, seed=1, limit_ns=LIMIT)
+    # without loss both deliver A first and waits are tiny
+    assert tcp.b_completed_first == 0
+    assert sctp.mean_first_completion_ns < 5_000_000
+    assert tcp.mean_first_completion_ns < 5_000_000
+
+
+def test_sctp_slashes_wait_under_loss():
+    tcp = run_hol_micro("tcp", iterations=30, loss_rate=0.02, seed=3, limit_ns=LIMIT)
+    sctp = run_hol_micro("sctp", iterations=30, loss_rate=0.02, seed=3, limit_ns=LIMIT)
+    assert sctp.mean_first_completion_ns < tcp.mean_first_completion_ns

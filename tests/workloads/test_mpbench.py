@@ -1,0 +1,47 @@
+"""MPBench ping-pong workload sanity."""
+
+import pytest
+
+from repro.workloads.mpbench import run_pingpong
+
+LIMIT = 2_000_000_000_000
+BOTH = pytest.mark.parametrize("rpi", ["tcp", "sctp"])
+
+
+@BOTH
+def test_pingpong_basic_metrics(rpi):
+    r = run_pingpong(rpi, 8192, iterations=10, seed=1, limit_ns=LIMIT)
+    assert r.message_size == 8192
+    assert r.elapsed_ns > 0
+    assert r.throughput_bytes_per_s > 0
+    assert r.round_trip_s > 0
+
+
+@BOTH
+def test_throughput_grows_with_message_size(rpi):
+    small = run_pingpong(rpi, 1024, iterations=10, seed=1, limit_ns=LIMIT)
+    large = run_pingpong(rpi, 65536, iterations=10, seed=1, limit_ns=LIMIT)
+    assert large.throughput_bytes_per_s > 2 * small.throughput_bytes_per_s
+
+
+@BOTH
+def test_loss_reduces_throughput(rpi):
+    clean = run_pingpong(rpi, 30 * 1024, iterations=20, seed=2, limit_ns=LIMIT)
+    lossy = run_pingpong(
+        rpi, 30 * 1024, iterations=20, loss_rate=0.02, seed=2, limit_ns=LIMIT
+    )
+    assert lossy.throughput_bytes_per_s < clean.throughput_bytes_per_s
+
+
+def test_pingpong_ignores_extra_ranks():
+    from repro.core.world import WorldConfig
+
+    cfg = WorldConfig(n_procs=4, rpi="sctp", seed=1)
+    r = run_pingpong("sctp", 4096, iterations=5, config=cfg, limit_ns=LIMIT)
+    assert r.elapsed_ns > 0  # ranks 2,3 idle without deadlocking the run
+
+
+def test_deterministic_given_seed():
+    a = run_pingpong("sctp", 16384, iterations=10, loss_rate=0.02, seed=5, limit_ns=LIMIT)
+    b = run_pingpong("sctp", 16384, iterations=10, loss_rate=0.02, seed=5, limit_ns=LIMIT)
+    assert a.elapsed_ns == b.elapsed_ns
