@@ -5,7 +5,7 @@ TCP (more back-to-back data behind any lost segment), especially for
 long messages; SCTP degrades only mildly versus Fig. 10.
 """
 
-from repro.bench import fig10_farm, fig11_farm_fanout, format_table
+from repro.bench import fig11_farm_fanout, format_table
 
 
 def test_fig11_farm_fanout(once):

@@ -7,11 +7,20 @@ exploration and for scripting sweeps.
     python -m repro.bench fig8
     python -m repro.bench table1 fig10
     python -m repro.bench all
+    python -m repro.bench fig8 --metrics-json out.json
     REPRO_FULL=1 python -m repro.bench fig9
+
+``--metrics-json PATH`` additionally enables the metrics registry for
+every simulated world and writes one deterministic JSON document: per
+experiment, the result rows plus one full metrics snapshot per world
+run.  The document contains no wall-clock time and is byte-identical
+across same-seed invocations (CI's determinism gate relies on this).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
 
@@ -25,6 +34,7 @@ from . import (
     multihoming_failover,
     table1_pingpong_loss,
 )
+from ..metrics import MetricsCollector
 
 EXPERIMENTS = {
     "fig8": ("Fig. 8: ping-pong throughput (no loss)", fig8_pingpong_noloss),
@@ -36,9 +46,33 @@ EXPERIMENTS = {
     "failover": ("Multihoming: primary-path failure mid-run", multihoming_failover),
 }
 
+METRICS_SCHEMA = 1
+
+
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the paper's experiments.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"experiment names ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="collect metrics snapshots and write a deterministic JSON "
+        "document (rows + one snapshot per simulated world) to PATH",
+    )
+    return parser.parse_args(argv)
+
 
 def main(argv: list[str]) -> int:
-    names = argv or ["all"]
+    args = _parse_args(argv)
+    names = args.experiments or ["all"]
     if names == ["all"]:
         names = list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -46,13 +80,36 @@ def main(argv: list[str]) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}")
         print(f"available: {', '.join(EXPERIMENTS)}, all")
         return 2
+    if args.metrics_json is not None:
+        # fail before running minutes of experiments, not after
+        try:
+            with open(args.metrics_json, "w", encoding="utf-8"):
+                pass
+        except OSError as err:
+            print(f"cannot write metrics JSON to {args.metrics_json}: {err}")
+            return 2
+    doc = {"schema": METRICS_SCHEMA, "experiments": {}}
     for name in names:
         title, fn = EXPERIMENTS[name]
         started = time.time()
-        rows = fn()
+        if args.metrics_json is not None:
+            with MetricsCollector() as collector:
+                rows = fn()
+            doc["experiments"][name] = {
+                "title": title,
+                "rows": [row.to_jsonable() for row in rows],
+                "runs": collector.runs,
+            }
+        else:
+            rows = fn()
         print(format_table(title, rows))
+        # wall time goes to stdout only: the JSON must be run-invariant
         print(f"  [{name}: {time.time() - started:.1f}s wall]")
         print()
+    if args.metrics_json is not None:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+        print(f"metrics JSON written to {args.metrics_json}")
     return 0
 
 

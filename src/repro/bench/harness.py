@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..core.world import WorldConfig
+from ..metrics.registry import _coerce
 from ..workloads.farm import FarmParams, run_farm
 from ..workloads.mpbench import make_pingpong, run_pingpong
 from ..workloads.npb import run_npb
@@ -40,6 +41,15 @@ class ExperimentRow:
     measured: Dict[str, Any]
     paper: Dict[str, Any] = field(default_factory=dict)
     note: str = ""
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-JSON form (numpy scalars coerced) for ``--metrics-json``."""
+        return {
+            "label": self.label,
+            "measured": {k: _coerce(v) for k, v in self.measured.items()},
+            "paper": {k: _coerce(v) for k, v in self.paper.items()},
+            "note": self.note,
+        }
 
 
 def format_table(title: str, rows: List[ExperimentRow]) -> str:

@@ -21,7 +21,7 @@ readiness.  Inbound traffic re-enters through :meth:`_on_unit` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, Optional, Tuple
 
 from ...simkernel import AsyncEvent
@@ -68,6 +68,9 @@ class RPIStats:
     advance_calls: int = 0
 
 
+RPI_STAT_FIELDS = tuple(f.name for f in fields(RPIStats))
+
+
 class BaseRPI:
     """Shared protocol engine; subclass per transport."""
 
@@ -92,6 +95,23 @@ class BaseRPI:
         self._wake = AsyncEvent(name=f"rpi-wake-{self.rank}")
         # init-time control hook (world install: hello/barrier bookkeeping)
         self._control_sink: Optional[Callable[[int, Envelope], None]] = None
+
+        # metrics: pull probes over the stats dataclass plus the matching
+        # structures whose depth explains buffering behaviour (§2.2.2)
+        scope = self.kernel.metrics.scope(f"rpi.{self.name}.rank{self.rank}")
+        for name in RPI_STAT_FIELDS:
+            scope.probe(name, lambda n=name: getattr(self.stats, n))
+        scope.probe("unexpected_depth", lambda: len(self.unexpected))
+        scope.probe(
+            "unexpected_buffered_bytes", lambda: self.unexpected.buffered_bytes
+        )
+        scope.probe(
+            "unexpected_max_buffered_bytes",
+            lambda: self.unexpected.max_buffered_bytes,
+        )
+        scope.probe("posted_receives", lambda: len(self.posted))
+        scope.probe("sends_awaiting_ack", lambda: len(self._sends_awaiting_ack))
+        scope.probe("recvs_awaiting_body", lambda: len(self._recvs_awaiting_body))
 
     # ------------------------------------------------------------------
     # abstract transport interface

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..metrics import MetricsPacketTap, MetricsRegistry, active_collector
 from ..network import ClusterConfig, CostModel, build_cluster
 from ..simkernel import Future, GBIT_PER_S, Kernel, MICROSECOND, wait_all
 from ..transport.sctp import SCTPConfig, SCTPEndpoint
@@ -41,6 +42,8 @@ class WorldConfig:
     sctp_config: SCTPConfig = field(default_factory=SCTPConfig)
     compute_rate_flops: float = 1.0e9  # virtual node speed for NPB kernels
     finalize_barrier: bool = True
+    # force metric collection on; an enclosing MetricsCollector also enables
+    metrics_enabled: bool = False
 
 
 @dataclass
@@ -101,7 +104,9 @@ class World:
     def __init__(self, config: Optional[WorldConfig] = None) -> None:
         self.config = config or WorldConfig()
         cfg = self.config
-        self.kernel = Kernel(seed=cfg.seed)
+        self._collector = active_collector()
+        enabled = cfg.metrics_enabled or self._collector is not None
+        self.kernel = Kernel(seed=cfg.seed, metrics=MetricsRegistry(enabled=enabled))
         self.cluster = build_cluster(
             self.kernel,
             ClusterConfig(
@@ -125,6 +130,16 @@ class World:
         self.processes = [MPIProcess(self, r) for r in range(cfg.n_procs)]
         self._init_done_ns = 0
         self._app_done_ns: Dict[int, int] = {}
+        if enabled:
+            self._packet_tap = MetricsPacketTap(self.kernel.metrics.scope("net.packets"))
+            self._packet_tap.attach(self.cluster.hosts)
+        else:
+            self._packet_tap = None
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The kernel-owned registry every layer registered into."""
+        return self.kernel.metrics
 
     def communicator(self, rank: int) -> Communicator:
         """COMM_WORLD for one rank (used by the per-rank main)."""
@@ -151,6 +166,13 @@ class World:
         done = wait_all(tasks)
         results = self.kernel.run_until(done, limit=limit_ns)
         last_app_done = max(self._app_done_ns.values())
+        if self._collector is not None:
+            cfg = self.config
+            self._collector.add(
+                f"rpi={cfg.rpi} n_procs={cfg.n_procs} loss={cfg.loss_rate}"
+                f" seed={cfg.seed} streams={cfg.num_streams} paths={cfg.n_paths}",
+                self.kernel.metrics.snapshot(),
+            )
         return WorldResult(
             results=results,
             duration_ns=last_app_done - self._init_done_ns,

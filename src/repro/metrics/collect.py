@@ -1,0 +1,42 @@
+"""Metrics collection across benchmark runs.
+
+The bench harness functions build and tear down many :class:`Worlds
+<repro.core.world.World>` internally; :class:`MetricsCollector` is how
+``--metrics-json`` reaches into them without threading a flag through
+every workload signature.  While a collector is active (``with``
+block), every World constructed enables its kernel's metrics registry
+and appends a labelled snapshot to the collector when its run finishes.
+
+Collection order is the (deterministic) order the harness runs its
+simulations in, so the collected document is a pure function of the
+experiment configuration and seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+_ACTIVE: List["MetricsCollector"] = []
+
+
+class MetricsCollector:
+    """Context manager gathering one snapshot per simulated world."""
+
+    def __init__(self) -> None:
+        self.runs: List[Dict[str, Any]] = []
+
+    def add(self, label: str, snapshot: Dict[str, Any]) -> None:
+        """Record one world's final metrics under a config label."""
+        self.runs.append({"label": label, "metrics": snapshot})
+
+    def __enter__(self) -> "MetricsCollector":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _ACTIVE.remove(self)
+
+
+def active_collector() -> Optional[MetricsCollector]:
+    """The innermost active collector, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None

@@ -40,6 +40,9 @@ class DummynetPipe:
         self._rng = kernel.rng(f"dummynet:{name}")
         self.passed_packets = 0
         self.dropped_packets = 0
+        scope = kernel.metrics.scope(f"net.dummynet.{name}")
+        scope.probe("passed_packets", lambda: self.passed_packets)
+        scope.probe("dropped_packets", lambda: self.dropped_packets)
 
     def connect(self, sink: Sink) -> None:
         """Attach the downstream element (usually a Link)."""

@@ -73,8 +73,13 @@ class Host:
         self._handlers: Dict[str, Any] = {}
         self.rx_packets = 0
         self.tx_packets = 0
-        # observability taps: fn(direction, host, packet); see util.trace
+        # observability taps: fn(direction, host, packet); consumers are
+        # PacketTap subclasses (repro.metrics.taps, repro.util.trace)
         self.taps: List[Callable[[str, "Host", Packet], None]] = []
+        scope = kernel.metrics.scope(f"host.{name}")
+        scope.probe("rx_packets", lambda: self.rx_packets)
+        scope.probe("tx_packets", lambda: self.tx_packets)
+        scope.probe("cpu_busy_ns", lambda: self.cpu.total_busy_ns)
 
     # -- interfaces ------------------------------------------------------
     def add_interface(self, nic: NIC) -> NIC:

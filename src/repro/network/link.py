@@ -15,6 +15,9 @@ from .packet import Packet
 
 Sink = Callable[[Packet], None]
 
+# queue-occupancy buckets in bytes: one MTU up to the default 512 KiB cap
+QUEUE_OCCUPANCY_EDGES = (1500, 8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024, 2 * 1024 * 1024)
+
 
 class Link:
     """One direction of a cable; create two for full duplex."""
@@ -43,6 +46,17 @@ class Link:
         self.tx_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        scope = kernel.metrics.scope(f"net.link.{name}")
+        scope.probe("tx_packets", lambda: self.tx_packets)
+        scope.probe("tx_bytes", lambda: self.tx_bytes)
+        scope.probe("dropped_packets", lambda: self.dropped_packets)
+        scope.probe("dropped_bytes", lambda: self.dropped_bytes)
+        scope.probe("queued_bytes", lambda: self._queued_bytes)
+        self._occupancy_hist = (
+            scope.histogram("queue_occupancy_bytes", QUEUE_OCCUPANCY_EDGES)
+            if kernel.metrics.enabled
+            else None
+        )
 
     def connect(self, sink: Sink) -> None:
         """Attach the receiving end (host NIC ingress or switch port)."""
@@ -62,6 +76,8 @@ class Link:
             self.dropped_bytes += packet.wire_size
             return False
         self._queued_bytes += packet.wire_size
+        if self._occupancy_hist is not None:
+            self._occupancy_hist.observe(self._queued_bytes)
         now = self.kernel.now
         start = max(now, self._ready_at)
         done = start + tx_time_ns(packet.wire_size, self.bandwidth_bps)

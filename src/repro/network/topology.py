@@ -98,6 +98,9 @@ def build_cluster(kernel: Kernel, config: Optional[ClusterConfig] = None) -> Clu
     for p in range(cfg.n_paths):
         switch = Switch(f"sw{p}")
         switches.append(switch)
+        sw_scope = kernel.metrics.scope(f"net.switch.sw{p}")
+        sw_scope.probe("forwarded", lambda s=switch: s.forwarded)
+        sw_scope.probe("unroutable", lambda s=switch: s.unroutable)
         for h, host in enumerate(hosts):
             addr = cfg.address(h, p)
             nic = NIC(addr)

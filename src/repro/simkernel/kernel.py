@@ -13,7 +13,11 @@ import heapq
 import random
 from typing import Any, Callable, Coroutine, Iterable, Optional
 
+from ..metrics.registry import MetricsRegistry
 from .futures import Future, Task
+
+# timer-heap depth buckets: powers of four up to a million timers
+HEAP_DEPTH_EDGES = (4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
 
 
 class Timer:
@@ -37,13 +41,29 @@ class Timer:
 class Kernel:
     """Discrete-event loop with an integer nanosecond virtual clock."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, metrics: Optional[MetricsRegistry] = None) -> None:
         self.seed = seed
         self._now = 0
         self._heap: list[tuple[int, int, Timer]] = []
         self._seq = 0
         self._events_processed = 0
         self._tasks: list[Task] = []
+        # The kernel owns the metrics registry every layer registers into.
+        # Metric registration never touches the RNG machinery, so streams
+        # are identical whether or not a simulation is instrumented.
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        scope = self.metrics.scope("kernel")
+        scope.probe("events_processed", lambda: self._events_processed)
+        scope.probe("pending_timers", self.pending_events)
+        scope.probe("tasks_spawned", lambda: len(self._tasks))
+        scope.probe("now_ns", lambda: self._now)
+        # heap-depth histogram observed on every schedule; None when the
+        # registry is disabled so the hot path pays only this check
+        self._heap_depth_hist = (
+            scope.histogram("timer_heap_depth", HEAP_DEPTH_EDGES)
+            if self.metrics.enabled
+            else None
+        )
 
     # -- clock -----------------------------------------------------------
     @property
@@ -69,6 +89,8 @@ class Kernel:
         timer = Timer(when, fn, args)
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, timer))
+        if self._heap_depth_hist is not None:
+            self._heap_depth_hist.observe(len(self._heap))
         return timer
 
     def call_after(self, delay: int, fn: Callable, *args: Any) -> Timer:

@@ -21,7 +21,7 @@ Design choices that matter for the paper's results:
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ...network.packet import IP_HEADER, Packet
@@ -135,6 +135,15 @@ class AssocStats:
     packets_sent: int = 0
     messages_delivered: int = 0
     failovers: int = 0
+    gap_blocks_sent: int = 0  # holes we reported to the peer
+    gap_blocks_received: int = 0  # holes the peer reported to us
+
+
+ASSOC_STAT_FIELDS = tuple(f.name for f in fields(AssocStats))
+
+# cwnd histogram edges: powers of two of the chunk budget, like TCP's
+# CWND_SAMPLE_EDGES but anchored at the SCTP initial cwnd (2 MTU)
+CWND_SAMPLE_EDGES = tuple(1452 * 2**k for k in range(1, 9))
 
 
 class Association:
@@ -213,6 +222,50 @@ class Association:
         self.on_writable = _noop
         self.on_closed = _noop1  # fn(error | None)
 
+        # metrics: per-assoc probes over the stats dataclass plus stream
+        # delivery/HOL observability; cwnd histogram is shared per host
+        metrics = self.kernel.metrics
+        scope = metrics.scope(
+            f"transport.sctp.{self.host.name}.assoc{assoc_id}"
+        )
+        for name in ASSOC_STAT_FIELDS:
+            scope.probe(name, lambda n=name: getattr(self.stats, n))
+        scope.probe("state", lambda: self.state)
+        scope.probe("peer_rwnd", lambda: self.peer_rwnd)
+        scope.probe(
+            "active_paths",
+            lambda: sum(1 for p in self.paths.values() if p.state == ACTIVE),
+        )
+        scope.probe(
+            "hol_stall_ns",
+            lambda: self.inbound.hol_stall_ns if self.inbound else 0,
+        )
+        scope.probe(
+            "parked_messages_max",
+            lambda: self.inbound.parked_messages_max if self.inbound else 0,
+        )
+        scope.probe(
+            "inbound_buffered_bytes",
+            lambda: self.inbound.buffered_bytes if self.inbound else 0,
+        )
+        for sid in range(self.config.n_in_streams):
+            scope.probe(
+                f"stream{sid}.delivered",
+                lambda s=sid: (
+                    self.inbound.delivered_per_stream[s]
+                    if self.inbound and s < self.inbound.n_streams
+                    else 0
+                ),
+            )
+        self._cwnd_hist = (
+            metrics.histogram(
+                f"transport.sctp.{self.host.name}.cwnd_bytes", CWND_SAMPLE_EDGES
+            )
+            if metrics.enabled
+            else None
+        )
+        endpoint.track_assoc_stats(self.stats)
+
     # ------------------------------------------------------------------
     # establishment
     # ------------------------------------------------------------------
@@ -244,7 +297,7 @@ class Association:
         n_out = min(self.config.n_out_streams, chunk.n_in_streams)
         n_in = min(self.config.n_in_streams, chunk.n_out_streams)
         self.outbound = OutboundStreams(max(1, n_out))
-        self.inbound = InboundStreams(max(1, n_in))
+        self.inbound = self._make_inbound(n_in)
         for addr in chunk.addresses:
             self._add_path(addr)
         self.endpoint.register_association(self, chunk.addresses)
@@ -287,12 +340,17 @@ class Association:
         assoc.rcv_cum_tsn = cookie.peer_initial_tsn - 1
         assoc.peer_rwnd = cookie.peer_a_rwnd
         assoc.outbound = OutboundStreams(max(1, cookie.n_out_streams))
-        assoc.inbound = InboundStreams(max(1, cookie.n_in_streams))
+        assoc.inbound = assoc._make_inbound(cookie.n_in_streams)
         for addr in cookie.peer_addresses:
             assoc._add_path(addr)
         assoc.state = ESTABLISHED
         assoc._start_heartbeats()
         return assoc
+
+    def _make_inbound(self, n_streams: int) -> InboundStreams:
+        """Inbound stream machinery wired to the virtual clock so it can
+        measure head-of-line stall time."""
+        return InboundStreams(max(1, n_streams), clock=lambda: self.kernel.now)
 
     def _add_path(self, addr: str) -> None:
         if addr in self.paths:
@@ -645,6 +703,7 @@ class Association:
             gaps=self._gap_blocks(),
             n_dup_tsns=self._dups_since_sack,
         )
+        self.stats.gap_blocks_sent += len(sack.gaps)
         self._packets_since_sack = 0
         self._dups_since_sack = 0
         if self._sack_timer is not None:
@@ -663,6 +722,7 @@ class Association:
     # -- sender side: SACK processing -----------------------------------------
     def _on_sack(self, sack: SackChunk, src_addr: str) -> None:
         self.stats.sacks_received += 1
+        self.stats.gap_blocks_received += len(sack.gaps)
         newly_acked: Dict[str, int] = {}
         # "cwnd fully utilized" = no room for another full chunk; an exact
         # >= test never fires because bursts stop one sub-MTU short
@@ -749,6 +809,8 @@ class Association:
         # congestion window growth
         for addr, acked in newly_acked.items():
             self.paths[addr].on_bytes_acked(acked, cwnd_was_full[addr])
+            if self._cwnd_hist is not None:
+                self._cwnd_hist.observe(self.paths[addr].cwnd)
         for path in self.paths.values():
             path.on_cum_advance(self.cum_tsn_acked)
 
@@ -860,6 +922,8 @@ class Association:
             return
         self.stats.rto_events += 1
         path.on_timeout()
+        if self._cwnd_hist is not None:
+            self._cwnd_hist.observe(path.cwnd)
         path.rto.back_off()
         path.note_error()
         self._assoc_error_count += 1

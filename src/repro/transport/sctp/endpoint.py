@@ -15,7 +15,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ...network.host import Host
 from ...network.packet import Packet
-from .association import Association, SCTPConfig
+from .association import ASSOC_STAT_FIELDS, AssocStats, Association, SCTPConfig
 from .chunks import (
     AbortChunk,
     CookieEchoChunk,
@@ -60,6 +60,28 @@ class SCTPEndpoint:
         self.bad_signature_cookies = 0
         self.ootb_packets = 0
         host.register_protocol("sctp", self)
+        # per-host stat sums over every association this endpoint ever made
+        # (closed associations keep counting — teardown must not lose data)
+        self._all_assoc_stats: list[AssocStats] = []
+        scope = self.kernel.metrics.scope(f"transport.sctp.{host.name}")
+        for name in ASSOC_STAT_FIELDS:
+            scope.probe(
+                name,
+                lambda n=name: sum(getattr(s, n) for s in self._all_assoc_stats),
+            )
+        scope.probe("associations_total", lambda: len(self._all_assoc_stats))
+        scope.probe(
+            "associations_open",
+            lambda: len({id(a) for a in self._assocs.values()}),
+        )
+        scope.probe("bad_vtag_drops", lambda: self.bad_vtag_drops)
+        scope.probe("stale_cookies", lambda: self.stale_cookies)
+        scope.probe("bad_signature_cookies", lambda: self.bad_signature_cookies)
+        scope.probe("ootb_packets", lambda: self.ootb_packets)
+
+    def track_assoc_stats(self, stats: AssocStats) -> None:
+        """Include one association's counters in the per-host sums."""
+        self._all_assoc_stats.append(stats)
 
     # -- registration -------------------------------------------------------
     def allocate_port(self) -> int:

@@ -12,7 +12,7 @@ anything past a missing byte (paper Fig. 4/5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ...util.blobs import ChunkList
 from .chunks import DataChunk
@@ -52,9 +52,17 @@ class OutboundStreams:
 
 
 class InboundStreams:
-    """Reassembly + per-stream ordering for the receiving side."""
+    """Reassembly + per-stream ordering for the receiving side.
 
-    def __init__(self, n_streams: int) -> None:
+    When given a ``clock`` (virtual-time callable), it also measures
+    head-of-line stall time: the nanoseconds each *complete* message
+    spends parked behind a missing earlier SSN of its own stream.  This
+    is the counter that explains the paper's Fig. 12 — with one stream
+    every loss stalls everything behind it; with ten, only one stream's
+    messages wait.
+    """
+
+    def __init__(self, n_streams: int, clock: Optional[Callable[[], int]] = None) -> None:
         self.n_streams = n_streams
         # fragments of incomplete messages, grouped by message identity
         self._partial: Dict[Tuple[int, int, bool], Dict[int, DataChunk]] = {}
@@ -62,6 +70,11 @@ class InboundStreams:
         self._pending: Dict[int, Dict[int, AssembledMessage]] = {}
         self._next_ssn = [0] * n_streams
         self.buffered_bytes = 0  # fragments + undeliverable messages
+        self._clock = clock
+        self._parked_at: Dict[Tuple[int, int], int] = {}  # (sid, ssn) -> t_ns
+        self.hol_stall_ns = 0  # total time complete messages waited for order
+        self.parked_messages_max = 0  # peak complete-but-undeliverable backlog
+        self.delivered_per_stream = [0] * n_streams
 
     def _key(self, chunk: DataChunk) -> Tuple[int, int, bool]:
         return (chunk.sid, chunk.ssn, chunk.unordered)
@@ -125,15 +138,26 @@ class InboundStreams:
     def _offer_complete(self, message: AssembledMessage) -> List[AssembledMessage]:
         if message.unordered:
             self.buffered_bytes -= message.nbytes
+            self.delivered_per_stream[message.sid] += 1
             return [message]
         sid = message.sid
         pending = self._pending.setdefault(sid, {})
         pending[message.ssn] = message
+        if self._clock is not None:
+            self._parked_at[(sid, message.ssn)] = self._clock()
+            backlog = sum(len(p) for p in self._pending.values())
+            if backlog > self.parked_messages_max:
+                self.parked_messages_max = backlog
         out: List[AssembledMessage] = []
         while self._next_ssn[sid] in pending:
             msg = pending.pop(self._next_ssn[sid])
             self._next_ssn[sid] += 1
             self.buffered_bytes -= msg.nbytes
+            self.delivered_per_stream[sid] += 1
+            if self._clock is not None:
+                parked = self._parked_at.pop((sid, msg.ssn), None)
+                if parked is not None:
+                    self.hol_stall_ns += self._clock() - parked
             out.append(msg)
         return out
 

@@ -17,7 +17,7 @@ does not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable, List, Optional, Tuple
 
 from ...network.packet import Packet
@@ -61,7 +61,13 @@ class TCPConfig:
 
 @dataclass
 class ConnStats:
-    """Counters exposed for tests and benchmark diagnostics."""
+    """Counters exposed for tests and benchmark diagnostics.
+
+    Every field is also registered into the kernel's
+    :class:`~repro.metrics.MetricsRegistry` (per-connection probes plus
+    per-host sums kept by the endpoint), so ``--metrics-json`` snapshots
+    carry them without the hot path paying for metric objects.
+    """
 
     bytes_sent: int = 0
     bytes_received: int = 0
@@ -73,6 +79,12 @@ class ConnStats:
     dupacks_received: int = 0
     sacked_ranges: int = 0
     persist_probes: int = 0
+
+
+CONN_STAT_FIELDS = tuple(f.name for f in fields(ConnStats))
+
+# cwnd sample buckets: MSS doublings from 2 up past the 220 KiB buffers
+CWND_SAMPLE_EDGES = tuple(1448 * 2**k for k in range(1, 9))
 
 
 class TCPConnection:
@@ -98,6 +110,23 @@ class TCPConnection:
 
         self.state = CLOSED
         self.stats = ConnStats()
+        metrics = self.kernel.metrics
+        conn_scope = metrics.scope(
+            f"transport.tcp.{self.host.name}.conn"
+            f".{local_port}-{remote_addr}:{remote_port}"
+        )
+        for name in CONN_STAT_FIELDS:
+            conn_scope.probe(name, lambda n=name: getattr(self.stats, n))
+        conn_scope.probe("state", lambda: self.state)
+        # cwnd samples share one per-host histogram across connections
+        self._cwnd_hist = (
+            metrics.histogram(
+                f"transport.tcp.{self.host.name}.cwnd_bytes", CWND_SAMPLE_EDGES
+            )
+            if metrics.enabled
+            else None
+        )
+        endpoint.track_conn_stats(self.stats)
 
         # sender state (initialised at handshake)
         self.iss = endpoint.pick_iss()
@@ -320,6 +349,8 @@ class TCPConnection:
                 self._retransmit_hole(self.snd_una)
         else:
             self.cc.on_new_ack(acked)
+        if self._cwnd_hist is not None:
+            self._cwnd_hist.observe(self.cc.cwnd)
 
         # FIN acknowledgement / state advance
         if self._fin_seq is not None and ack >= self._fin_seq + 1:
@@ -617,6 +648,8 @@ class TCPConnection:
         # data (or FIN) retransmission timeout
         self.stats.rto_events += 1
         self.cc.on_timeout(self._flight_size())
+        if self._cwnd_hist is not None:
+            self._cwnd_hist.observe(self.cc.cwnd)
         self.rto.back_off()
         self._dupacks = 0
         self._rtt_seq = None  # Karn

@@ -11,7 +11,7 @@ from typing import Dict, Optional, Tuple
 
 from ...network.host import Host
 from ...network.packet import IP_HEADER, Packet
-from .connection import TCPConfig, TCPConnection
+from .connection import CONN_STAT_FIELDS, ConnStats, TCPConfig, TCPConnection
 from .segment import ACK, RST, SYN, TCP_HEADER, TCPSegment
 
 ConnKey = Tuple[int, str, int]  # (local_port, remote_addr, remote_port)
@@ -31,6 +31,21 @@ class TCPEndpoint:
         self._next_ephemeral = self.EPHEMERAL_BASE
         self._iss_rng = host.kernel.rng(f"tcp.iss.{host.name}")
         host.register_protocol("tcp", self)
+        # per-host stat sums over every connection this endpoint ever made
+        # (closed connections keep counting — teardown must not lose data)
+        self._all_conn_stats: list[ConnStats] = []
+        scope = self.kernel.metrics.scope(f"transport.tcp.{host.name}")
+        for name in CONN_STAT_FIELDS:
+            scope.probe(
+                name,
+                lambda n=name: sum(getattr(s, n) for s in self._all_conn_stats),
+            )
+        scope.probe("connections_total", lambda: len(self._all_conn_stats))
+        scope.probe("connections_open", lambda: len(self._conns))
+
+    def track_conn_stats(self, stats: ConnStats) -> None:
+        """Include one connection's counters in the per-host sums."""
+        self._all_conn_stats.append(stats)
 
     # -- connection management -------------------------------------------
     def pick_iss(self) -> int:

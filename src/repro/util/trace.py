@@ -14,7 +14,9 @@ event sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import List, Optional
+
+from ..metrics.taps import PacketTap
 
 
 @dataclass(frozen=True)
@@ -38,31 +40,23 @@ class TraceEntry:
         )
 
 
-class PacketTrace:
-    """Records packet events from the hosts it is attached to."""
+class PacketTrace(PacketTap):
+    """Records packet events from the hosts it is attached to.
+
+    One consumer of the shared :class:`~repro.metrics.taps.PacketTap`
+    infrastructure (the other being
+    :class:`~repro.metrics.taps.MetricsPacketTap`); both can observe the
+    same hosts simultaneously.
+    """
 
     def __init__(self, kernel, max_entries: int = 100_000) -> None:
+        super().__init__()
         self.kernel = kernel
         self.max_entries = max_entries
         self.entries: List[TraceEntry] = []
         self.dropped = 0  # entries beyond max_entries
-        self._attached = []
 
-    def attach(self, hosts: Iterable) -> "PacketTrace":
-        """Start observing ``hosts``; returns self for chaining."""
-        for host in hosts:
-            host.taps.append(self._tap)
-            self._attached.append(host)
-        return self
-
-    def detach(self) -> None:
-        """Stop observing everything."""
-        for host in self._attached:
-            if self._tap in host.taps:
-                host.taps.remove(self._tap)
-        self._attached.clear()
-
-    def _tap(self, direction: str, host, packet) -> None:
+    def on_packet(self, direction: str, host, packet) -> None:
         if len(self.entries) >= self.max_entries:
             self.dropped += 1
             return

@@ -43,7 +43,7 @@ def test_paper_reference_values_match_the_paper():
 
 
 def test_fig10_11_12_reference_ratios():
-    from repro.bench.harness import FIG10_PAPER, FIG11_PAPER, FIG12_PAPER
+    from repro.bench.harness import FIG10_PAPER, FIG12_PAPER
 
     # the text's claims: 10-11x short-message gap at loss (fig 10) ...
     s, t = FIG10_PAPER[("short", 0.02)]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network import ClusterConfig, Host, HostCPU, NIC, Packet, Switch, build_cluster
+from repro.network import ClusterConfig, Host, HostCPU, NIC, Packet, build_cluster
 from repro.simkernel import Kernel
 
 
