@@ -2,11 +2,18 @@
 
 Not a paper figure (their comparison runs were single-homed, §4 item 4),
 but the paper's §3.5.1 argues failover is a key SCTP advantage for MPI:
-we sever the primary path mid-run and the application must finish over
-the alternate, with retransmissions redirected (§4.1.1 last bullet).
+a ``repro.faults`` blackhole severs the primary path mid-run and the
+application must finish over the alternate, with retransmissions
+redirected (§4.1.1 last bullet).
 """
 
 from repro.bench import format_table, multihoming_failover
+
+# KAME's minimum RTO is 1s, so the first T3 expiry — the earliest moment
+# SCTP can notice the dead path and retransmit elsewhere — lands ~1s
+# after the blackhole opens.  Recovery much beyond 2x that means the
+# failover machinery is not actually redirecting traffic.
+RECOVERY_BOUND_S = 2.0
 
 
 def test_multihoming_failover(once):
@@ -17,4 +24,12 @@ def test_multihoming_failover(once):
     assert row.measured["completed"], "the MPI program must survive path failure"
     assert row.measured["failover_retransmits"] > 0, (
         "retransmissions must have been redirected to the alternate path"
+    )
+    assert row.measured["path_failures"] > 0, (
+        "path supervision must have declared the severed path INACTIVE"
+    )
+    recovery_s = row.measured["recovery_s"]
+    assert 0 < recovery_s < RECOVERY_BOUND_S, (
+        f"delivery resumed {recovery_s}s after the blackhole; failover "
+        f"should recover within {RECOVERY_BOUND_S}s (~2x the 1s min RTO)"
     )

@@ -1,20 +1,24 @@
 #!/usr/bin/env python3
 """Multihoming failover (paper §3.5.1).
 
-Every node gets two NICs on two independent switched subnets.  Mid-run
-we power off the primary subnet's switch; SCTP's path supervision marks
-the primary INACTIVE, redirects retransmissions to the alternate address
-(§4.1.1, last bullet), and the MPI program finishes without the
-application noticing anything but a hiccup.  TCP has no equivalent
-(§3.5.1: "there is no similar mechanism in TCP").
+Every node gets two NICs on two independent switched subnets.  A
+``repro.faults`` blackhole scenario kills every host's primary-path
+egress 3 ms in; SCTP's path supervision marks the primary INACTIVE,
+redirects retransmissions to the alternate address (§4.1.1, last
+bullet), and the MPI program finishes without the application noticing
+anything but a hiccup.  TCP has no equivalent (§3.5.1: "there is no
+similar mechanism in TCP").
 
 Run:  python examples/multihoming_failover.py
 """
 
 from repro.core.world import World, WorldConfig
-from repro.simkernel import SECOND
+from repro.faults import DeliveryWatch, primary_blackhole
+from repro.simkernel import MILLISECOND, SECOND
 from repro.transport.sctp import SCTPConfig
 from repro.workloads.mpbench import make_pingpong
+
+FAULT_START = 3 * MILLISECOND
 
 
 def main():
@@ -24,12 +28,16 @@ def main():
         n_paths=2,
         seed=11,
         sctp_config=SCTPConfig(path_max_retrans=1, heartbeat_interval_ns=2 * SECOND),
+        # permanent: the primary path never comes back
+        scenario=primary_blackhole(start_ns=FAULT_START, duration_ns=0),
     )
     world = World(config)
-    world.kernel.call_after(3_000_000, _kill_primary, world)  # t = 3 ms
+    watch = DeliveryWatch("sctp", fault_start_ns=FAULT_START)
+    watch.attach(world.cluster.hosts)
 
     result = world.run(make_pingpong(30 * 1024, 40))
     print(f"ping-pong finished in {result.duration_ns / 1e9:.2f} s of virtual time")
+    print(f"  delivery resumed {watch.recovery_ns / 1e9:.2f} s after the outage")
     for proc in world.processes:
         for assoc in proc.rpi.sock._assocs.values():
             states = {a: p.state for a, p in assoc.paths.items()}
@@ -37,11 +45,6 @@ def main():
                 f"  rank {proc.rank}: paths {states}, "
                 f"retransmits redirected to alternate: {assoc.stats.failovers}"
             )
-
-
-def _kill_primary(world):
-    print("  !! primary subnet switch failed")
-    world.cluster.fail_path(0)
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ paper-vs-measured comparison (recorded in EXPERIMENTS.md).
 
 from .harness import (
     ExperimentRow,
+    chaos_matrix,
     fig8_pingpong_noloss,
     fig9_nas,
     fig10_farm,
@@ -21,6 +22,7 @@ from .harness import (
 
 __all__ = [
     "ExperimentRow",
+    "chaos_matrix",
     "fig8_pingpong_noloss",
     "fig9_nas",
     "fig10_farm",

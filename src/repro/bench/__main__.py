@@ -25,6 +25,7 @@ import sys
 import time
 
 from . import (
+    chaos_matrix,
     fig8_pingpong_noloss,
     fig9_nas,
     fig10_farm,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "fig11": ("Fig. 11: farm run times, fanout=10", fig11_farm_fanout),
     "fig12": ("Fig. 12: 10 streams vs 1 stream (SCTP)", fig12_hol_blocking),
     "failover": ("Multihoming: primary-path failure mid-run", multihoming_failover),
+    "chaos": ("Chaos matrix: fault scenarios x both stacks", chaos_matrix),
 }
 
 METRICS_SCHEMA = 1

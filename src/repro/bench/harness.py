@@ -322,41 +322,144 @@ def fig12_hol_blocking(seeds=(1, 2, 3)) -> List[ExperimentRow]:
 # ---------------------------------------------------------------------------
 # §3.5.1 extension — multihoming failover keeps an MPI run alive
 # ---------------------------------------------------------------------------
-def multihoming_failover(seed: int = 1) -> List[ExperimentRow]:
-    """Kill the primary path mid-run; SCTP fails over, the app finishes."""
+def _chaos_world(rpi: str, seed: int, scenario, fault_start_ns: int):
+    """A 2-proc, 2-path world with a DeliveryWatch on the host tap bus."""
     from ..core.world import World
-    from ..transport.sctp import SCTPConfig
+    from ..faults import DeliveryWatch
     from ..simkernel import SECOND
+    from ..transport.sctp import SCTPConfig
 
-    size = 30 * 1024
-    iters = scaled(30, 200)
     # tuned failure detection, as §3.5.1 recommends for MPI deployments
     sctp_config = SCTPConfig(path_max_retrans=1, heartbeat_interval_ns=2 * SECOND)
     config = WorldConfig(
-        n_procs=2, rpi="sctp", seed=seed, n_paths=2, sctp_config=sctp_config
+        n_procs=2,
+        rpi=rpi,
+        seed=seed,
+        n_paths=2,
+        sctp_config=sctp_config,
+        scenario=scenario,
     )
     world = World(config)
+    watch = DeliveryWatch(rpi, fault_start_ns=fault_start_ns)
+    watch.attach(world.cluster.hosts)
+    return world, watch
 
-    async def app(comm):
-        result = await make_pingpong(size, iters)(comm)
-        return result
 
-    # sever path 0 (the primary subnet) shortly after the run starts
-    world.kernel.call_after(3_000_000, world.cluster.fail_path, 0)
-    result = world.run(app, limit_ns=LIMIT_NS)
+def _transport_counters(world, rpi: str) -> Dict[str, int]:
+    """Recovery-relevant counters summed over every host endpoint."""
+    if rpi == "tcp":
+        totals = [ep.total_stats() for ep in world.tcp_endpoints]
+        return {
+            "rto_events": sum(t.rto_events for t in totals),
+            "fast_rtx": sum(t.fast_retransmits for t in totals),
+            "failovers": 0,
+            "integrity_drops": sum(ep.checksum_drops for ep in world.tcp_endpoints),
+        }
+    totals = [ep.total_stats() for ep in world.sctp_endpoints]
+    return {
+        "rto_events": sum(t.rto_events for t in totals),
+        "fast_rtx": sum(t.fast_retransmits for t in totals),
+        "failovers": sum(t.failovers for t in totals),
+        "integrity_drops": sum(ep.crc32c_drops for ep in world.sctp_endpoints),
+    }
 
-    failovers = 0
-    for proc in world.processes:
-        for assoc in proc.rpi.sock._assocs.values():
-            failovers += assoc.stats.failovers
+
+def multihoming_failover(seed: int = 1) -> List[ExperimentRow]:
+    """Blackhole the primary path mid-run; SCTP fails over and finishes.
+
+    The outage is a permanent :func:`repro.faults.primary_blackhole`
+    scenario (every host's path-0 egress dies 3 ms in); recovery time is
+    what a :class:`repro.faults.DeliveryWatch` on the host tap bus saw.
+    """
+    from ..faults import primary_blackhole
+    from ..simkernel import MILLISECOND
+
+    size = 30 * 1024
+    iters = scaled(30, 200)
+    fault_start = 3 * MILLISECOND
+    scenario = primary_blackhole(start_ns=fault_start, duration_ns=0)
+    world, watch = _chaos_world("sctp", seed, scenario, fault_start)
+    result = world.run(make_pingpong(size, iters), limit_ns=LIMIT_NS)
+
+    counters = _transport_counters(world, "sctp")
+    recovery_s = (
+        watch.recovery_ns / 1e9 if watch.recovery_ns is not None else float("inf")
+    )
     return [
         ExperimentRow(
             label="pingpong w/ primary-path failure",
             measured={
                 "completed": result.results[0] is not None,
                 "elapsed_s": result.duration_ns / 1e9,
-                "failover_retransmits": failovers,
+                "recovery_s": recovery_s,
+                "failover_retransmits": counters["failovers"],
+                "path_failures": sum(
+                    ep.total_stats().path_failures for ep in world.sctp_endpoints
+                ),
             },
             paper={"shape": "transparent failover (§3.5.1)"},
         )
     ]
+
+
+# ---------------------------------------------------------------------------
+# Chaos matrix — repro.faults scenario library x both stacks
+# ---------------------------------------------------------------------------
+def chaos_matrix(seed: int = 1) -> List[ExperimentRow]:
+    """Run every canonical fault scenario against both stacks.
+
+    Per cell: run time vs a fault-free baseline of the same seed
+    (goodput degradation), the longest data-delivery stall the
+    application felt, time-to-recovery after the fault hit, and the
+    transport counters that explain *how* the stack coped (RTO backoff
+    and SACK fast retransmit, SCTP path failover, integrity drops).
+    """
+    from ..faults import (
+        bernoulli_loss,
+        burst_loss,
+        corruption,
+        dup_and_reorder,
+        primary_blackhole,
+    )
+    from ..simkernel import MILLISECOND, SECOND
+
+    size = 30 * 1024
+    iters = scaled(20, 100)
+    hole_start = 5 * MILLISECOND
+    cells = [
+        ("bernoulli 2%", bernoulli_loss(0.02), 0),
+        ("burst", burst_loss(p_enter_bad=0.02, p_exit_bad=0.3, loss_bad=0.9), 0),
+        ("blackhole 2s", primary_blackhole(hole_start, 2 * SECOND), hole_start),
+        ("corrupt 2%", corruption(0.02), 0),
+        ("dup+reorder", dup_and_reorder(), 0),
+    ]
+
+    rows = []
+    for rpi in ("tcp", "sctp"):
+        baseline, _ = _chaos_world(rpi, seed, None, 0)
+        base = baseline.run(make_pingpong(size, iters), limit_ns=LIMIT_NS)
+        base_s = max(1e-9, base.duration_ns / 1e9)
+        for label, scenario, fault_start in cells:
+            world, watch = _chaos_world(rpi, seed, scenario, fault_start)
+            result = world.run(make_pingpong(size, iters), limit_ns=LIMIT_NS)
+            counters = _transport_counters(world, rpi)
+            elapsed_s = result.duration_ns / 1e9
+            recovery_s = (
+                watch.recovery_ns / 1e9
+                if watch.recovery_ns is not None
+                else float("inf")
+            )
+            rows.append(
+                ExperimentRow(
+                    label=f"{rpi} {label}",
+                    measured={
+                        "elapsed_s": elapsed_s,
+                        "slowdown": elapsed_s / base_s,
+                        "stall_s": watch.max_gap_ns / 1e9,
+                        "recovery_s": recovery_s,
+                        **counters,
+                    },
+                    note=f"baseline {base_s:.3g}s",
+                )
+            )
+    return rows

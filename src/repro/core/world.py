@@ -44,6 +44,9 @@ class WorldConfig:
     finalize_barrier: bool = True
     # force metric collection on; an enclosing MetricsCollector also enables
     metrics_enabled: bool = False
+    # fault-injection timeline (repro.faults.FaultScenario), armed onto the
+    # cluster before any process starts; None = healthy network
+    scenario: Optional[Any] = None
 
 
 @dataclass
@@ -127,6 +130,10 @@ class World:
         self.sctp_endpoints = [
             SCTPEndpoint(host, cfg.sctp_config) for host in self.cluster.hosts
         ]
+        # arm faults before processes exist so t=0 events see every packet
+        self.armed_scenario = (
+            self.cluster.arm_scenario(cfg.scenario) if cfg.scenario is not None else None
+        )
         self.processes = [MPIProcess(self, r) for r in range(cfg.n_procs)]
         self._init_done_ns = 0
         self._app_done_ns: Dict[int, int] = {}
@@ -168,11 +175,13 @@ class World:
         last_app_done = max(self._app_done_ns.values())
         if self._collector is not None:
             cfg = self.config
-            self._collector.add(
+            label = (
                 f"rpi={cfg.rpi} n_procs={cfg.n_procs} loss={cfg.loss_rate}"
-                f" seed={cfg.seed} streams={cfg.num_streams} paths={cfg.n_paths}",
-                self.kernel.metrics.snapshot(),
+                f" seed={cfg.seed} streams={cfg.num_streams} paths={cfg.n_paths}"
             )
+            if cfg.scenario is not None:
+                label += f" scenario={cfg.scenario.name}"
+            self._collector.add(label, self.kernel.metrics.snapshot())
         return WorldResult(
             results=results,
             duration_ns=last_app_done - self._init_done_ns,

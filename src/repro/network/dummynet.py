@@ -1,16 +1,27 @@
-"""Dummynet-style loss/delay pipe.
+"""Dummynet-style impairment pipe on every host egress.
 
 The paper's testbed ran FreeBSD Dummynet on every node to inject a
 configurable packet loss rate (0%, 1%, 2%) on the links between nodes.
-:class:`DummynetPipe` reproduces the ``plr`` behaviour: an independent
+:class:`DummynetPipe` reproduces the ``plr`` behaviour — an independent
 Bernoulli drop per packet, drawn from a named, seeded RNG stream so
-experiments are reproducible, plus an optional fixed extra delay.
+experiments are reproducible, plus an optional fixed extra delay — and,
+since the fault-injection subsystem (:mod:`repro.faults`), doubles as
+the arming point for scenario impairments: a pipe owns a chain of
+:class:`~repro.faults.impairments.Impairment` objects (the base
+Bernoulli loss first, armed impairments after, in arming order) that
+each packet flows through.
+
+Determinism: the base loss draws from the same ``dummynet:<name>``
+stream (one draw per packet, only while ``loss_rate > 0``) as before
+the refactor; every armed impairment draws from its own stream, so
+arming a scenario never perturbs the base loss pattern.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
+from ..faults.impairments import BernoulliLoss, Impairment
 from ..simkernel import Kernel
 from .packet import Packet
 
@@ -18,7 +29,7 @@ Sink = Callable[[Packet], None]
 
 
 class DummynetPipe:
-    """Callable packet filter: drop with probability ``loss_rate``."""
+    """Callable packet filter: base Bernoulli loss + armed impairments."""
 
     def __init__(
         self,
@@ -28,34 +39,88 @@ class DummynetPipe:
         extra_delay_ns: int = 0,
         sink: Optional[Sink] = None,
     ) -> None:
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError(f"loss rate must be in [0, 1): {loss_rate}")
         if extra_delay_ns < 0:
             raise ValueError("extra delay cannot be negative")
         self.kernel = kernel
         self.name = name
-        self.loss_rate = loss_rate
         self.extra_delay_ns = extra_delay_ns
         self.sink = sink
-        self._rng = kernel.rng(f"dummynet:{name}")
+        # loss_rate validation happens in BernoulliLoss ([0, 1]; 1.0 is a
+        # legitimate full blackhole, the degenerate link-down case)
+        self._base = BernoulliLoss(loss_rate).bind(kernel, f"dummynet:{name}")
+        self._armed: List[Impairment] = []
         self.passed_packets = 0
         self.dropped_packets = 0
+        self.duplicated_packets = 0
+        self.corrupted_packets = 0
         scope = kernel.metrics.scope(f"net.dummynet.{name}")
         scope.probe("passed_packets", lambda: self.passed_packets)
         scope.probe("dropped_packets", lambda: self.dropped_packets)
+        scope.probe("duplicated_packets", lambda: self.duplicated_packets)
+        scope.probe("corrupted_packets", lambda: self.corrupted_packets)
+        scope.probe("armed_impairments", lambda: len(self._armed))
+
+    # -- configuration ----------------------------------------------------
+    @property
+    def loss_rate(self) -> float:
+        """Base Bernoulli drop probability (Dummynet ``plr``)."""
+        return self._base.rate
+
+    @loss_rate.setter
+    def loss_rate(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1]: {rate}")
+        self._base.rate = rate
 
     def connect(self, sink: Sink) -> None:
         """Attach the downstream element (usually a Link)."""
         self.sink = sink
 
+    # -- impairment chain --------------------------------------------------
+    def arm(self, impairment: Impairment) -> Impairment:
+        """Append an impairment to the chain (bound here if needed)."""
+        if not impairment.bound:
+            impairment.bind(
+                self.kernel,
+                f"dummynet:{self.name}:{impairment.kind}{len(self._armed)}",
+            )
+        self._armed.append(impairment)
+        return impairment
+
+    def disarm(self, impairment: Impairment) -> None:
+        """Remove a previously armed impairment (no-op if absent)."""
+        if impairment in self._armed:
+            self._armed.remove(impairment)
+
+    @property
+    def armed_impairments(self) -> tuple:
+        """The currently armed (non-base) impairments, in chain order."""
+        return tuple(self._armed)
+
+    # -- data path ---------------------------------------------------------
     def __call__(self, packet: Packet) -> None:
         if self.sink is None:
             raise RuntimeError(f"dummynet pipe {self.name} has no sink")
-        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+        entries = [(packet, 0)]
+        chain = self._armed if self._base.rate == 0.0 else [self._base, *self._armed]
+        for impairment in chain:
+            nxt = []
+            for pkt, delay in entries:
+                for out, extra in impairment.process(pkt):
+                    nxt.append((out, delay + extra))
+            entries = nxt
+            if not entries:
+                break
+        if not entries:
             self.dropped_packets += 1
             return
-        self.passed_packets += 1
-        if self.extra_delay_ns:
-            self.kernel.call_after(self.extra_delay_ns, self.sink, packet)
-        else:
-            self.sink(packet)
+        self.duplicated_packets += len(entries) - 1
+        for pkt, delay in entries:
+            self.passed_packets += 1
+            if pkt.corrupted:
+                self.corrupted_packets += 1
+            total_delay = delay + self.extra_delay_ns
+            if total_delay:
+                self.kernel.call_after(total_delay, self.sink, pkt)
+            else:
+                self.sink(pkt)

@@ -41,16 +41,19 @@ class Link:
         self.sink = sink
         self._ready_at = 0  # virtual time the transmitter becomes idle
         self._queued_bytes = 0
+        self.up = True  # administrative state (repro.faults link: targets)
         # statistics
         self.tx_packets = 0
         self.tx_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        self.admin_down_drops = 0
         scope = kernel.metrics.scope(f"net.link.{name}")
         scope.probe("tx_packets", lambda: self.tx_packets)
         scope.probe("tx_bytes", lambda: self.tx_bytes)
         scope.probe("dropped_packets", lambda: self.dropped_packets)
         scope.probe("dropped_bytes", lambda: self.dropped_bytes)
+        scope.probe("admin_down_drops", lambda: self.admin_down_drops)
         scope.probe("queued_bytes", lambda: self._queued_bytes)
         self._occupancy_hist = (
             scope.histogram("queue_occupancy_bytes", QUEUE_OCCUPANCY_EDGES)
@@ -62,6 +65,10 @@ class Link:
         """Attach the receiving end (host NIC ingress or switch port)."""
         self.sink = sink
 
+    def set_up(self, up: bool) -> None:
+        """Administratively enable/disable the link (cable pull)."""
+        self.up = up
+
     @property
     def queued_bytes(self) -> int:
         """Bytes currently waiting for (or occupying) the transmitter."""
@@ -71,6 +78,9 @@ class Link:
         """Enqueue ``packet``; returns False if tail-dropped."""
         if self.sink is None:
             raise RuntimeError(f"link {self.name} has no sink connected")
+        if not self.up:
+            self.admin_down_drops += 1
+            return False
         if self._queued_bytes + packet.wire_size > self.queue_bytes:
             self.dropped_packets += 1
             self.dropped_bytes += packet.wire_size

@@ -30,6 +30,10 @@ class Packet:
     payload: Any
     wire_size: int  # total on-wire bytes including IP + transport headers
     pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    # set by the Corrupt impairment (repro.faults): the datagram still
+    # occupies the wire, but the receiving transport's integrity check
+    # (SCTP CRC32c, TCP checksum) must reject it on arrival
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.wire_size <= 0:
@@ -37,7 +41,8 @@ class Packet:
 
     def describe(self) -> str:
         """Short human-readable trace line for logging/tests."""
+        flag = " CORRUPT" if self.corrupted else ""
         return (
             f"#{self.pkt_id} {self.proto} {self.src}->{self.dst} "
-            f"{self.wire_size}B {self.payload!r}"
+            f"{self.wire_size}B{flag} {self.payload!r}"
         )

@@ -10,9 +10,12 @@ rates of 0%, 1%, 2%; those are the defaults here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..simkernel import GBIT_PER_S, Kernel, MICROSECOND
+
+if TYPE_CHECKING:  # avoid an import cycle: faults imports network.packet
+    from ..faults.scenario import ArmedScenario, FaultScenario
 from .costmodel import CostModel
 from .dummynet import DummynetPipe
 from .host import Host
@@ -64,10 +67,14 @@ class Cluster:
 
     def set_loss_rate(self, loss_rate: float) -> None:
         """Reconfigure every Dummynet pipe (like re-running ``ipfw pipe``)."""
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1]: {loss_rate}")
         for pipe in self.pipes.values():
-            if not 0.0 <= loss_rate < 1.0:
-                raise ValueError(f"loss rate must be in [0,1): {loss_rate}")
             pipe.loss_rate = loss_rate
+
+    def arm_scenario(self, scenario: "FaultScenario") -> "ArmedScenario":
+        """Arm a fault-injection timeline onto this cluster's pipes/links."""
+        return scenario.arm(self.kernel, self.pipes, links=self.links)
 
     def fail_path(self, path: int) -> None:
         """Take an entire subnet down (kills its switch)."""

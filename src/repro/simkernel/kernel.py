@@ -99,6 +99,35 @@ class Kernel:
             raise ValueError(f"negative delay: {delay}")
         return self.call_at(self._now + delay, fn, *args)
 
+    def call_window(
+        self,
+        start: int,
+        end: Optional[int],
+        on_fn: Callable,
+        off_fn: Callable,
+    ) -> tuple:
+        """Run ``on_fn`` at ``start`` and ``off_fn`` at ``end``.
+
+        The primitive behind fault-scenario arming (repro.faults): a
+        window that is already open (``start <= now``) switches on
+        immediately; ``end=None`` means the window never closes.
+        Returns ``(start_timer, end_timer)`` with ``None`` for legs that
+        ran inline or don't exist.
+        """
+        if end is not None and end <= start:
+            raise ValueError(f"empty window: [{start}, {end})")
+        if end is not None and end <= self._now:
+            on_fn()  # the whole window is in the past: open and close
+            off_fn()
+            return None, None
+        if start <= self._now:
+            on_fn()
+            start_timer = None
+        else:
+            start_timer = self.call_at(start, on_fn)
+        end_timer = self.call_at(end, off_fn) if end is not None else None
+        return start_timer, end_timer
+
     def sleep(self, delay: int) -> Future:
         """Future that completes ``delay`` ns from now (``await kernel.sleep(d)``)."""
         fut = Future(name=f"sleep@{self._now}+{delay}")

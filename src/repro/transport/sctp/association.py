@@ -137,6 +137,9 @@ class AssocStats:
     failovers: int = 0
     gap_blocks_sent: int = 0  # holes we reported to the peer
     gap_blocks_received: int = 0  # holes the peer reported to us
+    heartbeats_sent: int = 0
+    heartbeat_acks_received: int = 0
+    path_failures: int = 0  # paths declared INACTIVE (error limit hit)
 
 
 ASSOC_STAT_FIELDS = tuple(f.name for f in fields(AssocStats))
@@ -752,6 +755,9 @@ class Association:
             record = self.outstanding.get(tsn)
             if record is not None and not record.gap_acked:
                 record.gap_acked = True
+                # a gap-acked chunk is no longer outstanding anywhere:
+                # never retransmit it, even if a timeout marked it already
+                record.marked_for_rtx = False
                 self._account_acked(record, newly_acked, count_bytes=True)
                 self._maybe_rtt_sample(record)
                 if highest_newly_acked is None or tsn > highest_newly_acked:
@@ -823,6 +829,10 @@ class Association:
 
         if self._shutdown_requested:
             self._maybe_send_shutdown()
+        # RFC 4960 §6.3.3 rule E4: chunks still marked from a timeout go
+        # out as soon as cwnd allows — without this a failed-over message
+        # trickles one packet per backed-off T3 expiry
+        self._flush_marked()
         self._try_send()
         if total_acked > 0 and self.sndbuf_free() > 0:
             self.on_writable()
@@ -850,10 +860,40 @@ class Association:
                 self.paths[record.path_addr].rto.observe(self.kernel.now - sent_at)
 
     # -- retransmission -------------------------------------------------------
+    def _flush_marked(self) -> None:
+        """Retransmit remaining marked chunks while cwnd has room.
+
+        :meth:`_retransmit_marked` sends one bundled packet per call (the
+        RFC's timeout rule); after a SACK frees cwnd the rest must follow
+        immediately rather than wait for further timer expiries.
+        """
+        while True:
+            marked = [r for r in self.outstanding.values() if r.marked_for_rtx]
+            if not marked:
+                return
+            origin = marked[0].path_addr
+            dest = None
+            if self.config.retransmit_to_alternate:
+                dest = self._alternate_path(origin)
+            if dest is None:
+                dest = self.paths.get(origin) or self._active_path()
+            if dest is None or not dest.can_send():
+                return
+            self._retransmit_marked()
+            still_marked = sum(
+                1 for r in self.outstanding.values() if r.marked_for_rtx
+            )
+            if still_marked >= len(marked):
+                return  # no progress (oversized chunk): leave it to T3
+
     def _retransmit_marked(self) -> None:
         """Send marked chunks, one bundled packet, preferring an alternate
         active path (paper §4.1.1: retransmissions use alternates)."""
-        marked = [r for r in self.outstanding.values() if r.marked_for_rtx]
+        marked = [
+            r
+            for r in self.outstanding.values()
+            if r.marked_for_rtx and not r.gap_acked
+        ]
         if not marked:
             return
         origin = marked[0].path_addr
@@ -917,7 +957,14 @@ class Association:
         path = self.paths.get(addr)
         if path is None or self.state == CLOSED:
             return
-        on_path = [r for r in self.outstanding.values() if r.path_addr == addr]
+        # RFC 4960 §6.3.3 rule E3 excludes gap-acked chunks: they are not
+        # outstanding on the path anymore (their bytes were credited on
+        # gap-ack), so retransmitting them would corrupt path accounting
+        on_path = [
+            r
+            for r in self.outstanding.values()
+            if r.path_addr == addr and not r.gap_acked
+        ]
         if not on_path:
             return
         self.stats.rto_events += 1
@@ -925,7 +972,7 @@ class Association:
         if self._cwnd_hist is not None:
             self._cwnd_hist.observe(path.cwnd)
         path.rto.back_off()
-        path.note_error()
+        self._note_path_error(path)
         self._assoc_error_count += 1
         if self._assoc_error_count > self.config.assoc_max_retrans:
             self.abort("association retransmission limit exceeded")
@@ -961,16 +1008,23 @@ class Association:
             return
         if addr in self._hb_pending:
             # previous heartbeat never answered
-            path.note_error()
+            self._note_path_error(path)
             path.rto.back_off()
             del self._hb_pending[addr]
         if path.outstanding_bytes == 0:  # only probe idle paths
             self._nonce += 1
             self._hb_pending[addr] = self._nonce
+            self.stats.heartbeats_sent += 1
             self._transmit_chunks(
                 [HeartbeatChunk(addr, self.kernel.now, self._nonce)], addr
             )
         self._arm_heartbeat(addr)
+
+    def _note_path_error(self, path: PathState) -> None:
+        """note_error plus stats bookkeeping of ACTIVE->INACTIVE flips."""
+        before = path.failures
+        path.note_error()
+        self.stats.path_failures += path.failures - before
 
     def _on_heartbeat_ack(self, chunk: HeartbeatAckChunk) -> None:
         pending = self._hb_pending.get(chunk.dest_addr)
@@ -979,6 +1033,7 @@ class Association:
         del self._hb_pending[chunk.dest_addr]
         path = self.paths.get(chunk.dest_addr)
         if path is not None:
+            self.stats.heartbeat_acks_received += 1
             path.note_success()
             path.rto.observe(self.kernel.now - chunk.sent_at_ns)
 

@@ -56,6 +56,7 @@ class SCTPEndpoint:
         self._next_ephemeral = self.EPHEMERAL_BASE
         self._next_assoc_id = 1
         self.bad_vtag_drops = 0
+        self.crc32c_drops = 0
         self.stale_cookies = 0
         self.bad_signature_cookies = 0
         self.ootb_packets = 0
@@ -75,6 +76,7 @@ class SCTPEndpoint:
             lambda: len({id(a) for a in self._assocs.values()}),
         )
         scope.probe("bad_vtag_drops", lambda: self.bad_vtag_drops)
+        scope.probe("crc32c_drops", lambda: self.crc32c_drops)
         scope.probe("stale_cookies", lambda: self.stale_cookies)
         scope.probe("bad_signature_cookies", lambda: self.bad_signature_cookies)
         scope.probe("ootb_packets", lambda: self.ootb_packets)
@@ -82,6 +84,14 @@ class SCTPEndpoint:
     def track_assoc_stats(self, stats: AssocStats) -> None:
         """Include one association's counters in the per-host sums."""
         self._all_assoc_stats.append(stats)
+
+    def total_stats(self) -> AssocStats:
+        """Sum of every association's counters (open and closed)."""
+        total = AssocStats()
+        for stats in self._all_assoc_stats:
+            for name in ASSOC_STAT_FIELDS:
+                setattr(total, name, getattr(total, name) + getattr(stats, name))
+        return total
 
     # -- registration -------------------------------------------------------
     def allocate_port(self) -> int:
@@ -176,6 +186,11 @@ class SCTPEndpoint:
     # -- packet input -------------------------------------------------------------
     def receive(self, packet: Packet) -> None:
         """Demultiplex one inbound SCTP packet."""
+        if packet.corrupted:
+            # The mandatory CRC32c over the whole packet fails; RFC 4960
+            # §6.8 says discard silently (paper §3.5.2 robustness claim).
+            self.crc32c_drops += 1
+            return
         pkt: SCTPPacket = packet.payload
         key = (pkt.dst_port, packet.src, pkt.src_port)
         assoc = self._assocs.get(key)

@@ -47,6 +47,7 @@ class PathState:
         self.fast_retransmits = 0
         self.timeouts = 0
         self.bytes_sent = 0
+        self.failures = 0  # ACTIVE -> INACTIVE transitions
 
     # -- congestion window -------------------------------------------------
     @property
@@ -104,8 +105,9 @@ class PathState:
     def note_error(self) -> None:
         """Count a timeout/heartbeat miss; mark INACTIVE past the limit."""
         self.error_count += 1
-        if self.error_count > self.path_max_retrans:
+        if self.error_count > self.path_max_retrans and self.state == ACTIVE:
             self.state = INACTIVE
+            self.failures += 1
 
     def note_success(self) -> None:
         """Any ack/heartbeat-ack proves reachability again."""

@@ -30,6 +30,7 @@ class TCPEndpoint:
         self._listeners: Dict[int, "ListenerHooks"] = {}
         self._next_ephemeral = self.EPHEMERAL_BASE
         self._iss_rng = host.kernel.rng(f"tcp.iss.{host.name}")
+        self.checksum_drops = 0
         host.register_protocol("tcp", self)
         # per-host stat sums over every connection this endpoint ever made
         # (closed connections keep counting — teardown must not lose data)
@@ -42,10 +43,19 @@ class TCPEndpoint:
             )
         scope.probe("connections_total", lambda: len(self._all_conn_stats))
         scope.probe("connections_open", lambda: len(self._conns))
+        scope.probe("checksum_drops", lambda: self.checksum_drops)
 
     def track_conn_stats(self, stats: ConnStats) -> None:
         """Include one connection's counters in the per-host sums."""
         self._all_conn_stats.append(stats)
+
+    def total_stats(self) -> ConnStats:
+        """Sum of every connection's counters (open and closed)."""
+        total = ConnStats()
+        for stats in self._all_conn_stats:
+            for name in CONN_STAT_FIELDS:
+                setattr(total, name, getattr(total, name) + getattr(stats, name))
+        return total
 
     # -- connection management -------------------------------------------
     def pick_iss(self) -> int:
@@ -101,6 +111,11 @@ class TCPEndpoint:
     # -- packet input -------------------------------------------------------
     def receive(self, packet: Packet) -> None:
         """Demultiplex one inbound packet to its connection or listener."""
+        if packet.corrupted:
+            # Internet checksum failure: the segment never reaches the
+            # connection (silently discarded, recovered by retransmission).
+            self.checksum_drops += 1
+            return
         seg: TCPSegment = packet.payload
         key = (seg.dst_port, packet.src, seg.src_port)
         conn = self._conns.get(key)

@@ -55,11 +55,24 @@ def test_extra_delay():
 def test_invalid_config_rejected():
     k = Kernel()
     with pytest.raises(ValueError):
-        DummynetPipe(k, "p", loss_rate=1.0)
+        DummynetPipe(k, "p", loss_rate=1.1)
     with pytest.raises(ValueError):
         DummynetPipe(k, "p", loss_rate=-0.1)
     with pytest.raises(ValueError):
         DummynetPipe(k, "p", extra_delay_ns=-1)
+    pipe = DummynetPipe(k, "p2")
+    with pytest.raises(ValueError):
+        pipe.loss_rate = 2.0
+
+
+def test_total_loss_allowed():
+    """loss_rate=1.0 is a legal full blackhole, not a config error."""
+    k = Kernel(seed=3)
+    got = []
+    pipe = DummynetPipe(k, "p", loss_rate=1.0, sink=got.append)
+    for i in range(50):
+        pipe(pkt(i))
+    assert got == [] and pipe.dropped_packets == 50
 
 
 def test_unconnected_pipe_raises():

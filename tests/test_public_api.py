@@ -31,3 +31,20 @@ def test_constants():
     assert repro.ANY_SOURCE == -1
     assert repro.ANY_TAG == -1
     assert repro.EAGER_LIMIT == 64 * 1024
+
+
+def test_faults_exports_resolve():
+    import repro.faults
+
+    for name in repro.faults.__all__:
+        assert hasattr(repro.faults, name), name
+
+
+def test_world_config_accepts_scenario():
+    from repro.faults import bernoulli_loss
+
+    scenario = bernoulli_loss(0.01)
+    config = repro.WorldConfig(n_procs=2, rpi="sctp", scenario=scenario)
+    world = repro.World(config)
+    assert world.armed_scenario is not None
+    assert world.armed_scenario.scenario is scenario
