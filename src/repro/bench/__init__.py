@@ -9,6 +9,7 @@ paper-vs-measured comparison (recorded in EXPERIMENTS.md).
 from .harness import (
     ExperimentRow,
     chaos_matrix,
+    experiment_cells,
     fig8_pingpong_noloss,
     fig9_nas,
     fig10_farm,
@@ -16,6 +17,7 @@ from .harness import (
     fig12_hol_blocking,
     format_table,
     multihoming_failover,
+    run_experiment_cell,
     scaled,
     table1_pingpong_loss,
 )
@@ -23,6 +25,7 @@ from .harness import (
 __all__ = [
     "ExperimentRow",
     "chaos_matrix",
+    "experiment_cells",
     "fig8_pingpong_noloss",
     "fig9_nas",
     "fig10_farm",
@@ -30,6 +33,7 @@ __all__ = [
     "fig12_hol_blocking",
     "format_table",
     "multihoming_failover",
+    "run_experiment_cell",
     "scaled",
     "table1_pingpong_loss",
 ]

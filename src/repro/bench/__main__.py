@@ -8,6 +8,8 @@ exploration and for scripting sweeps.
     python -m repro.bench table1 fig10
     python -m repro.bench all
     python -m repro.bench fig8 --metrics-json out.json
+    python -m repro.bench chaos --jobs 4 --metrics-json out.json
+    python -m repro.bench fig8 --profile
     REPRO_FULL=1 python -m repro.bench fig9
 
 ``--metrics-json PATH`` additionally enables the metrics registry for
@@ -15,6 +17,17 @@ every simulated world and writes one deterministic JSON document: per
 experiment, the result rows plus one full metrics snapshot per world
 run.  The document contains no wall-clock time and is byte-identical
 across same-seed invocations (CI's determinism gate relies on this).
+
+``--jobs N`` shards every experiment's cell matrix across N worker
+processes (each (protocol, loss, size, fanout) cell is an isolated
+deterministic simulation) and merges results in enumeration order, so
+the output — including ``--metrics-json`` — is byte-identical to a
+serial run (CI's parallel determinism gate relies on *this*).
+
+``--profile`` wraps the run in :mod:`cProfile` and prints the top 20
+functions by cumulative time, for hot-path hunts without ad-hoc
+scripts.  With ``--jobs > 1`` only the parent process is profiled,
+which is rarely what you want — profile serial runs.
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ import sys
 import time
 
 from . import (
+    ExperimentRow,
     chaos_matrix,
     fig8_pingpong_noloss,
     fig9_nas,
@@ -69,11 +83,69 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         help="collect metrics snapshots and write a deterministic JSON "
         "document (rows + one snapshot per simulated world) to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard experiment cells across N worker processes; output "
+        "(tables and metrics JSON) is byte-identical to a serial run",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative functions",
+    )
     return parser.parse_args(argv)
+
+
+def _run_serial(names: list[str], with_metrics: bool, doc: dict) -> None:
+    """The original in-process path (one collector per experiment)."""
+    for name in names:
+        title, fn = EXPERIMENTS[name]
+        started = time.time()
+        if with_metrics:
+            with MetricsCollector() as collector:
+                rows = fn()
+            doc["experiments"][name] = {
+                "title": title,
+                "rows": [row.to_jsonable() for row in rows],
+                "runs": collector.runs,
+            }
+        else:
+            rows = fn()
+        print(format_table(title, rows))
+        # wall time goes to stdout only: the JSON must be run-invariant
+        print(f"  [{name}: {time.time() - started:.1f}s wall]")
+        print()
+
+
+def _run_parallel(names: list[str], jobs: int, with_metrics: bool, doc: dict) -> None:
+    """Cell-sharded fan-out; merged output matches the serial path."""
+    from .parallel import run_experiments
+
+    started = time.time()
+    merged = run_experiments(names, jobs=jobs, with_metrics=with_metrics)
+    elapsed = time.time() - started
+    for name in names:
+        title, _ = EXPERIMENTS[name]
+        rows = [ExperimentRow.from_jsonable(d) for d in merged[name]["rows"]]
+        if with_metrics:
+            doc["experiments"][name] = {
+                "title": title,
+                "rows": merged[name]["rows"],
+                "runs": merged[name]["runs"],
+            }
+        print(format_table(title, rows))
+        print()
+    print(f"  [{', '.join(names)}: {elapsed:.1f}s wall across {jobs} jobs]")
 
 
 def main(argv: list[str]) -> int:
     args = _parse_args(argv)
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}")
+        return 2
     names = args.experiments or ["all"]
     if names == ["all"]:
         names = list(EXPERIMENTS)
@@ -90,24 +162,28 @@ def main(argv: list[str]) -> int:
         except OSError as err:
             print(f"cannot write metrics JSON to {args.metrics_json}: {err}")
             return 2
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        if args.jobs > 1:
+            print("note: --profile with --jobs > 1 profiles only the parent process")
+        profiler = cProfile.Profile()
+        profiler.enable()
     doc = {"schema": METRICS_SCHEMA, "experiments": {}}
-    for name in names:
-        title, fn = EXPERIMENTS[name]
-        started = time.time()
-        if args.metrics_json is not None:
-            with MetricsCollector() as collector:
-                rows = fn()
-            doc["experiments"][name] = {
-                "title": title,
-                "rows": [row.to_jsonable() for row in rows],
-                "runs": collector.runs,
-            }
+    with_metrics = args.metrics_json is not None
+    try:
+        if args.jobs > 1:
+            _run_parallel(names, args.jobs, with_metrics, doc)
         else:
-            rows = fn()
-        print(format_table(title, rows))
-        # wall time goes to stdout only: the JSON must be run-invariant
-        print(f"  [{name}: {time.time() - started:.1f}s wall]")
-        print()
+            _run_serial(names, with_metrics, doc)
+    finally:
+        if profiler is not None:
+            import pstats
+
+            profiler.disable()
+            print()
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
     if args.metrics_json is not None:
         with open(args.metrics_json, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(doc, sort_keys=True, indent=2) + "\n")

@@ -51,6 +51,16 @@ class ExperimentRow:
             "note": self.note,
         }
 
+    @classmethod
+    def from_jsonable(cls, doc: Dict[str, Any]) -> "ExperimentRow":
+        """Rebuild a row a worker process shipped back as plain JSON."""
+        return cls(
+            label=doc["label"],
+            measured=dict(doc["measured"]),
+            paper=dict(doc.get("paper", {})),
+            note=doc.get("note", ""),
+        )
+
 
 def format_table(title: str, rows: List[ExperimentRow]) -> str:
     """Render rows for the bench log / EXPERIMENTS.md."""
@@ -79,26 +89,34 @@ def _fmt(v: Any) -> str:
 FIG8_SIZES = [1, 1024, 4096, 8192, 16384, 22528, 32768, 65536, 98302, 131069]
 
 
+def _fig8_cell(
+    size: int, seed: int = 1, iterations: Optional[int] = None
+) -> List[ExperimentRow]:
+    """One fig8 matrix cell: both protocols at one message size."""
+    iters = iterations or scaled(16, 50)
+    tcp = run_pingpong("tcp", size, iterations=iters, seed=seed, limit_ns=LIMIT_NS)
+    sctp = run_pingpong("sctp", size, iterations=iters, seed=seed, limit_ns=LIMIT_NS)
+    ratio = sctp.throughput_bytes_per_s / tcp.throughput_bytes_per_s
+    return [
+        ExperimentRow(
+            label=f"pingpong {size}B",
+            measured={
+                "tcp_MBps": tcp.throughput_bytes_per_s / 1e6,
+                "sctp_MBps": sctp.throughput_bytes_per_s / 1e6,
+                "sctp/tcp": ratio,
+            },
+            paper={"shape": "<1 below ~22K, >1 above"},
+        )
+    ]
+
+
 def fig8_pingpong_noloss(seed: int = 1, iterations: Optional[int] = None) -> List[ExperimentRow]:
     """TCP wins small, SCTP wins large; paper crossover ~22 KiB."""
-    iters = iterations or scaled(16, 50)
-    rows = []
-    for size in FIG8_SIZES:
-        tcp = run_pingpong("tcp", size, iterations=iters, seed=seed, limit_ns=LIMIT_NS)
-        sctp = run_pingpong("sctp", size, iterations=iters, seed=seed, limit_ns=LIMIT_NS)
-        ratio = sctp.throughput_bytes_per_s / tcp.throughput_bytes_per_s
-        rows.append(
-            ExperimentRow(
-                label=f"pingpong {size}B",
-                measured={
-                    "tcp_MBps": tcp.throughput_bytes_per_s / 1e6,
-                    "sctp_MBps": sctp.throughput_bytes_per_s / 1e6,
-                    "sctp/tcp": ratio,
-                },
-                paper={"shape": "<1 below ~22K, >1 above"},
-            )
-        )
-    return rows
+    return [
+        row
+        for size in FIG8_SIZES
+        for row in _fig8_cell(size, seed=seed, iterations=iterations)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -112,6 +130,40 @@ TABLE1_PAPER = {
 }
 
 
+def _table1_cell(size: int, loss: float, seeds=(1, 2, 3, 4, 5)) -> List[ExperimentRow]:
+    """One Table-1 cell: both protocols at one (size, loss), seed-averaged."""
+    iters = scaled(50, 100) if size <= 64 * 1024 else scaled(16, 40)
+    tcp_bps = sctp_bps = 0.0
+    for seed in seeds:
+        tcp_bps += run_pingpong(
+            "tcp", size, iterations=iters, loss_rate=loss, seed=seed,
+            limit_ns=LIMIT_NS,
+        ).throughput_bytes_per_s
+        sctp_bps += run_pingpong(
+            "sctp", size, iterations=iters, loss_rate=loss, seed=seed,
+            limit_ns=LIMIT_NS,
+        ).throughput_bytes_per_s
+    tcp_bps /= len(seeds)
+    sctp_bps /= len(seeds)
+    p_sctp, p_tcp = TABLE1_PAPER[(size, loss)]
+    return [
+        ExperimentRow(
+            label=f"pingpong {size // 1024}K loss={loss:.0%}",
+            measured={
+                "sctp_Bps": sctp_bps,
+                "tcp_Bps": tcp_bps,
+                "sctp/tcp": sctp_bps / max(1e-9, tcp_bps),
+            },
+            paper={
+                "sctp_Bps": p_sctp,
+                "tcp_Bps": p_tcp,
+                "sctp/tcp": p_sctp / p_tcp,
+            },
+            note=f"mean of {len(seeds)} seeds",
+        )
+    ]
+
+
 def table1_pingpong_loss(seeds=(1, 2, 3, 4, 5)) -> List[ExperimentRow]:
     """SCTP ahead of TCP under loss, both message sizes.
 
@@ -120,40 +172,12 @@ def table1_pingpong_loss(seeds=(1, 2, 3, 4, 5)) -> List[ExperimentRow]:
     seeds.  Our measured factors (~1-2x) are far below the paper's
     (3-43x); EXPERIMENTS.md discusses why faithful SACK recovery on both
     stacks narrows the gap the paper observed."""
-    rows = []
-    for size in (30 * 1024, 300 * 1024):
-        iters = scaled(50, 100) if size <= 64 * 1024 else scaled(16, 40)
-        for loss in (0.01, 0.02):
-            tcp_bps = sctp_bps = 0.0
-            for seed in seeds:
-                tcp_bps += run_pingpong(
-                    "tcp", size, iterations=iters, loss_rate=loss, seed=seed,
-                    limit_ns=LIMIT_NS,
-                ).throughput_bytes_per_s
-                sctp_bps += run_pingpong(
-                    "sctp", size, iterations=iters, loss_rate=loss, seed=seed,
-                    limit_ns=LIMIT_NS,
-                ).throughput_bytes_per_s
-            tcp_bps /= len(seeds)
-            sctp_bps /= len(seeds)
-            p_sctp, p_tcp = TABLE1_PAPER[(size, loss)]
-            rows.append(
-                ExperimentRow(
-                    label=f"pingpong {size // 1024}K loss={loss:.0%}",
-                    measured={
-                        "sctp_Bps": sctp_bps,
-                        "tcp_Bps": tcp_bps,
-                        "sctp/tcp": sctp_bps / max(1e-9, tcp_bps),
-                    },
-                    paper={
-                        "sctp_Bps": p_sctp,
-                        "tcp_Bps": p_tcp,
-                        "sctp/tcp": p_sctp / p_tcp,
-                    },
-                    note=f"mean of {len(seeds)} seeds",
-                )
-            )
-    return rows
+    return [
+        row
+        for size in (30 * 1024, 300 * 1024)
+        for loss in (0.01, 0.02)
+        for row in _table1_cell(size, loss, seeds=seeds)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -162,29 +186,33 @@ def table1_pingpong_loss(seeds=(1, 2, 3, 4, 5)) -> List[ExperimentRow]:
 FIG9_ORDER = ["LU", "SP", "EP", "CG", "BT", "MG", "IS"]
 
 
+def _fig9_cell(name: str, cls: str = "B", seed: int = 1) -> List[ExperimentRow]:
+    """One fig9 cell: both protocols on one NPB kernel."""
+    tcp = run_npb(name, cls, rpi="tcp", seed=seed, limit_ns=LIMIT_NS)
+    sctp = run_npb(name, cls, rpi="sctp", seed=seed, limit_ns=LIMIT_NS)
+    return [
+        ExperimentRow(
+            label=f"NPB {name}.{cls}",
+            measured={
+                "sctp_Mops": sctp.mops,
+                "tcp_Mops": tcp.mops,
+                "sctp/tcp": sctp.mops / max(1e-9, tcp.mops),
+                "verified": sctp.verified and tcp.verified,
+            },
+            paper={
+                "shape": "TCP ahead on MG,BT; comparable elsewhere"
+                if name in ("MG", "BT")
+                else "comparable"
+            },
+        )
+    ]
+
+
 def fig9_nas(cls: str = "B", seed: int = 1) -> List[ExperimentRow]:
     """SCTP comparable to TCP overall; TCP ahead on MG and BT."""
-    rows = []
-    for name in FIG9_ORDER:
-        tcp = run_npb(name, cls, rpi="tcp", seed=seed, limit_ns=LIMIT_NS)
-        sctp = run_npb(name, cls, rpi="sctp", seed=seed, limit_ns=LIMIT_NS)
-        rows.append(
-            ExperimentRow(
-                label=f"NPB {name}.{cls}",
-                measured={
-                    "sctp_Mops": sctp.mops,
-                    "tcp_Mops": tcp.mops,
-                    "sctp/tcp": sctp.mops / max(1e-9, tcp.mops),
-                    "verified": sctp.verified and tcp.verified,
-                },
-                paper={
-                    "shape": "TCP ahead on MG,BT; comparable elsewhere"
-                    if name in ("MG", "BT")
-                    else "comparable"
-                },
-            )
-        )
-    return rows
+    return [
+        row for name in FIG9_ORDER for row in _fig9_cell(name, cls=cls, seed=seed)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -222,35 +250,40 @@ def _farm_params(size_label: str, fanout: int) -> FarmParams:
     )
 
 
+def _farm_cell(
+    fanout: int, size_label: str, loss: float, seed: int = 1
+) -> List[ExperimentRow]:
+    """One farm cell: both protocols at one (size, loss) for a fanout."""
+    paper = FIG10_PAPER if fanout == 1 else FIG11_PAPER
+    params = _farm_params(size_label, fanout)
+    sctp = run_farm("sctp", params, loss_rate=loss, seed=seed, limit_ns=LIMIT_NS)
+    tcp = run_farm("tcp", params, loss_rate=loss, seed=seed, limit_ns=LIMIT_NS)
+    p_sctp, p_tcp = paper[(size_label, loss)]
+    return [
+        ExperimentRow(
+            label=f"farm {size_label} fanout={fanout} loss={loss:.0%}",
+            measured={
+                "sctp_s": sctp.elapsed_s,
+                "tcp_s": tcp.elapsed_s,
+                "tcp/sctp": tcp.elapsed_s / max(1e-9, sctp.elapsed_s),
+            },
+            paper={
+                "sctp_s": p_sctp,
+                "tcp_s": p_tcp,
+                "tcp/sctp": p_tcp / p_sctp,
+            },
+            note=f"{params.num_tasks} tasks (paper: 10000)",
+        )
+    ]
+
+
 def _farm_rows(fanout: int, paper: Dict, seed: int) -> List[ExperimentRow]:
-    rows = []
-    for size_label in ("short", "long"):
-        params = _farm_params(size_label, fanout)
-        for loss in (0.00, 0.01, 0.02):
-            sctp = run_farm(
-                "sctp", params, loss_rate=loss, seed=seed, limit_ns=LIMIT_NS
-            )
-            tcp = run_farm(
-                "tcp", params, loss_rate=loss, seed=seed, limit_ns=LIMIT_NS
-            )
-            p_sctp, p_tcp = paper[(size_label, loss)]
-            rows.append(
-                ExperimentRow(
-                    label=f"farm {size_label} fanout={fanout} loss={loss:.0%}",
-                    measured={
-                        "sctp_s": sctp.elapsed_s,
-                        "tcp_s": tcp.elapsed_s,
-                        "tcp/sctp": tcp.elapsed_s / max(1e-9, sctp.elapsed_s),
-                    },
-                    paper={
-                        "sctp_s": p_sctp,
-                        "tcp_s": p_tcp,
-                        "tcp/sctp": p_tcp / p_sctp,
-                    },
-                    note=f"{params.num_tasks} tasks (paper: 10000)",
-                )
-            )
-    return rows
+    return [
+        row
+        for size_label in ("short", "long")
+        for loss in (0.00, 0.01, 0.02)
+        for row in _farm_cell(fanout, size_label, loss, seed=seed)
+    ]
 
 
 def fig10_farm(seed: int = 1) -> List[ExperimentRow]:
@@ -276,47 +309,53 @@ FIG12_PAPER = {  # (size_label, loss) -> (streams10_s, stream1_s)
 }
 
 
+def _fig12_cell(size_label: str, loss: float, seeds=(1, 2, 3)) -> List[ExperimentRow]:
+    """One fig12 cell: 10-stream vs 1-stream SCTP at one (size, loss)."""
+    params = _farm_params(size_label, fanout=10)
+    multi_s = single_s = 0.0
+    use_seeds = seeds if loss > 0 else seeds[:1]
+    for seed in use_seeds:
+        multi_s += run_farm(
+            "sctp", params, loss_rate=loss, seed=seed, num_streams=10,
+            limit_ns=LIMIT_NS,
+        ).elapsed_s
+        single_s += run_farm(
+            "sctp", params, loss_rate=loss, seed=seed, num_streams=1,
+            limit_ns=LIMIT_NS,
+        ).elapsed_s
+    multi_s /= len(use_seeds)
+    single_s /= len(use_seeds)
+    p10, p1 = FIG12_PAPER[(size_label, loss)]
+    return [
+        ExperimentRow(
+            label=f"farm {size_label} fanout=10 loss={loss:.0%}",
+            measured={
+                "streams10_s": multi_s,
+                "stream1_s": single_s,
+                "1s/10s": single_s / max(1e-9, multi_s),
+            },
+            paper={
+                "streams10_s": p10,
+                "stream1_s": p1,
+                "1s/10s": p1 / p10,
+            },
+            note=f"mean of {len(use_seeds)} seeds",
+        )
+    ]
+
+
 def fig12_hol_blocking(seeds=(1, 2, 3)) -> List[ExperimentRow]:
     """The multistreaming ablation: 1 stream re-introduces HOL blocking.
 
     Run times at demo scale are dominated by a handful of retransmission
     timeouts, so each cell averages several seeds (the paper averaged six
     runs of 10,000 tasks for the same reason — §4.2.1)."""
-    rows = []
-    for size_label in ("short", "long"):
-        params = _farm_params(size_label, fanout=10)
-        for loss in (0.00, 0.01, 0.02):
-            multi_s = single_s = 0.0
-            use_seeds = seeds if loss > 0 else seeds[:1]
-            for seed in use_seeds:
-                multi_s += run_farm(
-                    "sctp", params, loss_rate=loss, seed=seed, num_streams=10,
-                    limit_ns=LIMIT_NS,
-                ).elapsed_s
-                single_s += run_farm(
-                    "sctp", params, loss_rate=loss, seed=seed, num_streams=1,
-                    limit_ns=LIMIT_NS,
-                ).elapsed_s
-            multi_s /= len(use_seeds)
-            single_s /= len(use_seeds)
-            p10, p1 = FIG12_PAPER[(size_label, loss)]
-            rows.append(
-                ExperimentRow(
-                    label=f"farm {size_label} fanout=10 loss={loss:.0%}",
-                    measured={
-                        "streams10_s": multi_s,
-                        "stream1_s": single_s,
-                        "1s/10s": single_s / max(1e-9, multi_s),
-                    },
-                    paper={
-                        "streams10_s": p10,
-                        "stream1_s": p1,
-                        "1s/10s": p1 / p10,
-                    },
-                    note=f"mean of {len(use_seeds)} seeds",
-                )
-            )
-    return rows
+    return [
+        row
+        for size_label in ("short", "long")
+        for loss in (0.00, 0.01, 0.02)
+        for row in _fig12_cell(size_label, loss, seeds=seeds)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -405,14 +444,13 @@ def multihoming_failover(seed: int = 1) -> List[ExperimentRow]:
 # ---------------------------------------------------------------------------
 # Chaos matrix — repro.faults scenario library x both stacks
 # ---------------------------------------------------------------------------
-def chaos_matrix(seed: int = 1) -> List[ExperimentRow]:
-    """Run every canonical fault scenario against both stacks.
+def _chaos_cell(rpi: str, seed: int = 1) -> List[ExperimentRow]:
+    """One chaos-matrix shard: the fault-free baseline plus every
+    scenario for one stack.
 
-    Per cell: run time vs a fault-free baseline of the same seed
-    (goodput degradation), the longest data-delivery stall the
-    application felt, time-to-recovery after the fault hit, and the
-    transport counters that explain *how* the stack coped (RTO backoff
-    and SACK fast retransmit, SCTP path failover, integrity drops).
+    The baseline run lives *inside* the shard (its elapsed time
+    normalises every scenario row), so shards are fully independent —
+    the property the parallel fan-out relies on.
     """
     from ..faults import (
         bernoulli_loss,
@@ -435,31 +473,125 @@ def chaos_matrix(seed: int = 1) -> List[ExperimentRow]:
     ]
 
     rows = []
-    for rpi in ("tcp", "sctp"):
-        baseline, _ = _chaos_world(rpi, seed, None, 0)
-        base = baseline.run(make_pingpong(size, iters), limit_ns=LIMIT_NS)
-        base_s = max(1e-9, base.duration_ns / 1e9)
-        for label, scenario, fault_start in cells:
-            world, watch = _chaos_world(rpi, seed, scenario, fault_start)
-            result = world.run(make_pingpong(size, iters), limit_ns=LIMIT_NS)
-            counters = _transport_counters(world, rpi)
-            elapsed_s = result.duration_ns / 1e9
-            recovery_s = (
-                watch.recovery_ns / 1e9
-                if watch.recovery_ns is not None
-                else float("inf")
+    baseline, _ = _chaos_world(rpi, seed, None, 0)
+    base = baseline.run(make_pingpong(size, iters), limit_ns=LIMIT_NS)
+    base_s = max(1e-9, base.duration_ns / 1e9)
+    for label, scenario, fault_start in cells:
+        world, watch = _chaos_world(rpi, seed, scenario, fault_start)
+        result = world.run(make_pingpong(size, iters), limit_ns=LIMIT_NS)
+        counters = _transport_counters(world, rpi)
+        elapsed_s = result.duration_ns / 1e9
+        recovery_s = (
+            watch.recovery_ns / 1e9
+            if watch.recovery_ns is not None
+            else float("inf")
+        )
+        rows.append(
+            ExperimentRow(
+                label=f"{rpi} {label}",
+                measured={
+                    "elapsed_s": elapsed_s,
+                    "slowdown": elapsed_s / base_s,
+                    "stall_s": watch.max_gap_ns / 1e9,
+                    "recovery_s": recovery_s,
+                    **counters,
+                },
+                note=f"baseline {base_s:.3g}s",
             )
-            rows.append(
-                ExperimentRow(
-                    label=f"{rpi} {label}",
-                    measured={
-                        "elapsed_s": elapsed_s,
-                        "slowdown": elapsed_s / base_s,
-                        "stall_s": watch.max_gap_ns / 1e9,
-                        "recovery_s": recovery_s,
-                        **counters,
-                    },
-                    note=f"baseline {base_s:.3g}s",
-                )
-            )
+        )
     return rows
+
+
+def chaos_matrix(seed: int = 1, jobs: int = 1) -> List[ExperimentRow]:
+    """Run every canonical fault scenario against both stacks.
+
+    Per cell: run time vs a fault-free baseline of the same seed
+    (goodput degradation), the longest data-delivery stall the
+    application felt, time-to-recovery after the fault hit, and the
+    transport counters that explain *how* the stack coped (RTO backoff
+    and SACK fast retransmit, SCTP path failover, integrity drops).
+
+    ``jobs > 1`` shards the per-stack cells across worker processes via
+    :mod:`repro.bench.parallel`; the rows are identical to a serial run.
+    """
+    if jobs > 1:
+        if seed != 1:
+            raise ValueError("parallel chaos_matrix supports the default seed only")
+        from .parallel import run_experiments
+
+        merged = run_experiments(["chaos"], jobs=jobs)
+        return [ExperimentRow.from_jsonable(d) for d in merged["chaos"]["rows"]]
+    return _chaos_cell("tcp", seed) + _chaos_cell("sctp", seed)
+
+
+# ---------------------------------------------------------------------------
+# Cell decomposition — the unit of parallel fan-out
+# ---------------------------------------------------------------------------
+# Every experiment is a matrix of independent deterministic cells (the
+# property the paper's Dummynet testbed had: each (seed, scenario) run is
+# isolated).  ``experiment_cells`` enumerates a stable key per cell and
+# ``run_experiment_cell`` executes one; the serial entry points above are
+# exactly "run every cell in enumeration order", so a sharded run merged
+# in enumeration order reproduces the serial output byte for byte.
+_CELL_REGISTRY: Dict[str, tuple] = {
+    "fig8": (
+        lambda: [str(size) for size in FIG8_SIZES],
+        lambda key: _fig8_cell(int(key)),
+    ),
+    "table1": (
+        lambda: [
+            f"{size}:{loss}" for size in (30 * 1024, 300 * 1024) for loss in (0.01, 0.02)
+        ],
+        lambda key: _table1_cell(int(key.split(":")[0]), float(key.split(":")[1])),
+    ),
+    "fig9": (
+        lambda: list(FIG9_ORDER),
+        lambda key: _fig9_cell(key),
+    ),
+    "fig10": (
+        lambda: [
+            f"{label}:{loss}" for label in ("short", "long") for loss in (0.0, 0.01, 0.02)
+        ],
+        lambda key: _farm_cell(1, key.split(":")[0], float(key.split(":")[1])),
+    ),
+    "fig11": (
+        lambda: [
+            f"{label}:{loss}" for label in ("short", "long") for loss in (0.0, 0.01, 0.02)
+        ],
+        lambda key: _farm_cell(10, key.split(":")[0], float(key.split(":")[1])),
+    ),
+    "fig12": (
+        lambda: [
+            f"{label}:{loss}" for label in ("short", "long") for loss in (0.0, 0.01, 0.02)
+        ],
+        lambda key: _fig12_cell(key.split(":")[0], float(key.split(":")[1])),
+    ),
+    "failover": (
+        lambda: ["default"],
+        lambda key: multihoming_failover(),
+    ),
+    "chaos": (
+        lambda: ["tcp", "sctp"],
+        lambda key: _chaos_cell(key),
+    ),
+}
+
+
+def experiment_cells(name: str) -> List[str]:
+    """Stable, ordered cell keys of one experiment's matrix."""
+    try:
+        list_keys, _ = _CELL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment: {name!r}") from None
+    return list_keys()
+
+
+def run_experiment_cell(name: str, key: str) -> List[ExperimentRow]:
+    """Run one cell (at the default scale/seeds the CLI uses)."""
+    try:
+        _, run_key = _CELL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment: {name!r}") from None
+    if key not in experiment_cells(name):
+        raise KeyError(f"unknown cell {key!r} for experiment {name!r}")
+    return run_key(key)

@@ -1,0 +1,85 @@
+"""Parallel bench fan-out: shard the experiment matrix across processes.
+
+Every experiment in :mod:`repro.bench.harness` decomposes into
+independent deterministic cells (``experiment_cells`` /
+``run_experiment_cell``) — the simulated property the paper's Dummynet
+testbed had physically: each (seed, scenario) run is isolated, so runs
+can execute anywhere in any order.  This module exploits that with
+``multiprocessing``:
+
+* each worker process runs one cell to completion, under its own
+  :class:`~repro.metrics.MetricsCollector` when metrics are requested;
+* the parent merges per-cell rows and metrics snapshots **in cell
+  enumeration order** (``Pool.map`` preserves input order), never in
+  completion order;
+* virtual-time results and metrics snapshots contain no wall-clock
+  values, so the merged document is byte-identical to the serial
+  runner's — CI diffs the two to gate ``--jobs`` determinism.
+
+Workers inherit the parent's environment (``REPRO_FULL`` scale
+switching works unchanged).  The ``fork`` start method is preferred
+(cheap, no re-import); ``spawn`` platforms work too since cells are
+addressed by plain ``(experiment, key)`` strings — no callables ever
+cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..metrics import MetricsCollector
+from . import harness
+
+CellResult = Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]
+
+
+def _run_cell(item: Tuple[str, str, bool]) -> CellResult:
+    """Worker body: run one (experiment, key) cell, return plain data."""
+    name, key, with_metrics = item
+    if with_metrics:
+        with MetricsCollector() as collector:
+            rows = harness.run_experiment_cell(name, key)
+        runs = collector.runs
+    else:
+        rows = harness.run_experiment_cell(name, key)
+        runs = []
+    return [row.to_jsonable() for row in rows], runs
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_experiments(
+    names: Sequence[str],
+    jobs: int = 1,
+    with_metrics: bool = False,
+) -> Dict[str, Dict[str, List[Dict[str, Any]]]]:
+    """Run experiments cell-sharded over ``jobs`` worker processes.
+
+    Returns ``{experiment: {"rows": [...], "runs": [...]}}`` with rows
+    and metrics snapshots already in plain-JSON form, merged in
+    deterministic enumeration order.  ``jobs <= 1`` runs the same cell
+    decomposition in-process (useful for tests and as the degenerate
+    case of ``--jobs 1``).
+    """
+    items = [
+        (name, key, with_metrics)
+        for name in names
+        for key in harness.experiment_cells(name)
+    ]
+    if jobs <= 1:
+        outputs = [_run_cell(item) for item in items]
+    else:
+        with _pool_context().Pool(processes=min(jobs, len(items))) as pool:
+            outputs = pool.map(_run_cell, items)
+    merged: Dict[str, Dict[str, List[Dict[str, Any]]]] = {
+        name: {"rows": [], "runs": []} for name in names
+    }
+    for (name, _key, _), (rows, runs) in zip(items, outputs):
+        merged[name]["rows"].extend(rows)
+        merged[name]["runs"].extend(runs)
+    return merged

@@ -13,12 +13,19 @@ import struct
 from dataclasses import dataclass
 
 from ..util.blobs import RealBlob
+from .constants import FLAG_LONG_BODY, FLAG_SHORT, FLAG_SSEND, KIND_MASK
 
 _FORMAT = "<qiiiii"  # length, tag, context, rank, flags, seqnum
-ENVELOPE_SIZE = struct.calcsize(_FORMAT)  # 28 bytes
+_STRUCT = struct.Struct(_FORMAT)  # prebound: skips the format-cache lookup
+_pack = _STRUCT.pack
+_unpack = _STRUCT.unpack
+ENVELOPE_SIZE = _STRUCT.size  # 28 bytes
+
+# envelope kinds that carry their body inline (all others travel alone)
+_INLINE_BODY_KINDS = frozenset((FLAG_SHORT, FLAG_SSEND, FLAG_LONG_BODY))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """One middleware envelope."""
 
@@ -32,8 +39,7 @@ class Envelope:
     def pack(self) -> RealBlob:
         """Serialise to wire bytes."""
         return RealBlob(
-            struct.pack(
-                _FORMAT,
+            _pack(
                 self.length,
                 self.tag,
                 self.context,
@@ -48,13 +54,11 @@ class Envelope:
         """Parse from exactly ENVELOPE_SIZE wire bytes."""
         if len(raw) != ENVELOPE_SIZE:
             raise ValueError(f"envelope must be {ENVELOPE_SIZE} bytes, got {len(raw)}")
-        length, tag, context, rank, flags, seqnum = struct.unpack(_FORMAT, raw)
+        length, tag, context, rank, flags, seqnum = _unpack(raw)
         return cls(length, tag, context, rank, flags, seqnum)
 
     def kind(self) -> int:
         """The single kind bit set in flags."""
-        from .constants import KIND_MASK
-
         return self.flags & KIND_MASK
 
     def wire_body_length(self) -> int:
@@ -64,9 +68,7 @@ class Envelope:
         rendezvous envelope (and the various ACK/control envelopes)
         travels alone — the body comes later, under a LONG_BODY envelope.
         """
-        from .constants import FLAG_LONG_BODY, FLAG_SHORT, FLAG_SSEND
-
-        if self.kind() in (FLAG_SHORT, FLAG_SSEND, FLAG_LONG_BODY):
+        if self.flags & KIND_MASK in _INLINE_BODY_KINDS:
             return self.length
         return 0
 

@@ -98,6 +98,12 @@ class SCTPRPI(BaseRPI):
         self._rx_cont: Dict[Tuple[int, int], List[int]] = {}
         self._barrier_ready = 0
         self._barrier_go = False
+        # per-message hot path: prebind the middleware cost coefficients
+        # (fixed for the host's lifetime) so _pump/_transmit_some do
+        # integer arithmetic instead of a cost-model call per socket op
+        cm = self.host.cost_model
+        self._mw_base_ns = cm.sctp_syscall_ns
+        self._mw_per_kib_ns = cm.sctp_middleware_per_kib_ns
         self.set_control_sink(self._handle_control)
 
     # ------------------------------------------------------------------
@@ -178,7 +184,7 @@ class SCTPRPI(BaseRPI):
             if msg is None:
                 break
             self.host.cpu.charge(
-                self.host.cost_model.middleware_io_cost("sctp", msg.nbytes)
+                self._mw_base_ns + self._mw_per_kib_ns * msg.nbytes // 1024
             )
             self._dispatch(msg)
             progressed = True
@@ -219,7 +225,7 @@ class SCTPRPI(BaseRPI):
             if not self.sock.sendmsg(assoc_id, stream, wire):
                 break  # EAGAIN
             self.host.cpu.charge(
-                self.host.cost_model.middleware_io_cost("sctp", wire.nbytes)
+                self._mw_base_ns + self._mw_per_kib_ns * wire.nbytes // 1024
             )
             unit.env_sent = True
             unit.body_offset = next_offset

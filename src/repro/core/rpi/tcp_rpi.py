@@ -70,6 +70,12 @@ class TCPRPI(BaseRPI):
         self.port = port
         self.endpoint = process.tcp_endpoint
         self.selector = Selector(self.host)
+        # per-chunk hot path: prebind the middleware cost coefficients
+        # (fixed for the host's lifetime) so _pump/_send_some do integer
+        # arithmetic instead of a cost-model method call per socket op
+        cm = self.host.cost_model
+        self._mw_base_ns = cm.tcp_syscall_ns
+        self._mw_per_kib_ns = cm.tcp_middleware_per_kib_ns
         self._sock_by_rank: Dict[int, TCPSocket] = {}
         self._rank_by_sock: Dict[TCPSocket, int] = {}
         self._all_sockets: List[TCPSocket] = []
@@ -166,10 +172,14 @@ class TCPRPI(BaseRPI):
                     self._retire_socket(sock)
                     break
                 self.host.cpu.charge(
-                    self.host.cost_model.middleware_io_cost("tcp", chunk.nbytes)
+                    self._mw_base_ns + self._mw_per_kib_ns * chunk.nbytes // 1024
                 )
                 self._feed(sock, chunk)
                 progressed = True
+                if chunk.nbytes < RECV_CHUNK:
+                    # a short read drained the receive buffer; nothing new
+                    # can arrive synchronously, so skip the would-block call
+                    break
         # outbound: flush per-peer FIFO queues
         for rank, queue in self._outq.items():
             if not queue:
@@ -200,12 +210,11 @@ class TCPRPI(BaseRPI):
     def _send_some(self, sock: TCPSocket, unit: _OutUnit) -> int:
         sent = 0
         while unit.offset < unit.total:
-            window = unit.wire.slice(unit.offset, unit.total)
-            accepted = sock.send(window.pieces[0])
+            accepted = sock.send(unit.wire.piece_at(unit.offset))
             if accepted == 0:
                 break
             self.host.cpu.charge(
-                self.host.cost_model.middleware_io_cost("tcp", accepted)
+                self._mw_base_ns + self._mw_per_kib_ns * accepted // 1024
             )
             unit.offset += accepted
             sent += accepted
@@ -220,9 +229,10 @@ class TCPRPI(BaseRPI):
                     return
                 head, state.buf = state.buf.split(ENVELOPE_SIZE)
                 state.env = Envelope.unpack(head.to_bytes())
-            if state.buf.nbytes < state.env.wire_body_length():
+            body_len = state.env.wire_body_length()
+            if state.buf.nbytes < body_len:
                 return
-            body, state.buf = state.buf.split(state.env.wire_body_length())
+            body, state.buf = state.buf.split(body_len)
             env, state.env = state.env, None
             if sock not in self._rank_by_sock:
                 if env.kind() != FLAG_HELLO:
@@ -243,6 +253,11 @@ class TCPRPI(BaseRPI):
             if q and r in self._sock_by_rank
         ]
         sel_fut = self.selector.wait(self._all_sockets, write_socks)
+        if sel_fut.done():
+            # a socket was already ready: skip the wake-future allocation
+            # (wait_any would return without ever attaching to it)
+            self._wake.clear()
+            return
         await wait_any([sel_fut, self._wake.wait()])
         if not sel_fut.done():
             self.selector.cancel_wait()

@@ -49,6 +49,11 @@ class DummynetPipe:
         # legitimate full blackhole, the degenerate link-down case)
         self._base = BernoulliLoss(loss_rate).bind(kernel, f"dummynet:{name}")
         self._armed: List[Impairment] = []
+        # the per-packet chain is cached and rebuilt only when the armed
+        # set or the base loss rate changes (hot-path: one tuple read
+        # instead of a list construction per packet)
+        self._chain: tuple = ()
+        self._rebuild_chain()
         self.passed_packets = 0
         self.dropped_packets = 0
         self.duplicated_packets = 0
@@ -71,12 +76,20 @@ class DummynetPipe:
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"loss rate must be in [0, 1]: {rate}")
         self._base.rate = rate
+        self._rebuild_chain()
 
     def connect(self, sink: Sink) -> None:
         """Attach the downstream element (usually a Link)."""
         self.sink = sink
 
     # -- impairment chain --------------------------------------------------
+    def _rebuild_chain(self) -> None:
+        """Recompute the cached per-packet impairment chain."""
+        if self._base.rate == 0.0:
+            self._chain = tuple(self._armed)
+        else:
+            self._chain = (self._base, *self._armed)
+
     def arm(self, impairment: Impairment) -> Impairment:
         """Append an impairment to the chain (bound here if needed)."""
         if not impairment.bound:
@@ -85,12 +98,14 @@ class DummynetPipe:
                 f"dummynet:{self.name}:{impairment.kind}{len(self._armed)}",
             )
         self._armed.append(impairment)
+        self._rebuild_chain()
         return impairment
 
     def disarm(self, impairment: Impairment) -> None:
         """Remove a previously armed impairment (no-op if absent)."""
         if impairment in self._armed:
             self._armed.remove(impairment)
+            self._rebuild_chain()
 
     @property
     def armed_impairments(self) -> tuple:
@@ -99,10 +114,21 @@ class DummynetPipe:
 
     # -- data path ---------------------------------------------------------
     def __call__(self, packet: Packet) -> None:
-        if self.sink is None:
+        sink = self.sink
+        if sink is None:
             raise RuntimeError(f"dummynet pipe {self.name} has no sink")
+        chain = self._chain
+        if not chain:
+            # clean-pipe fast path: nothing armed, no base loss
+            self.passed_packets += 1
+            if packet.corrupted:
+                self.corrupted_packets += 1
+            if self.extra_delay_ns:
+                self.kernel.post_after(self.extra_delay_ns, sink, packet)
+            else:
+                sink(packet)
+            return
         entries = [(packet, 0)]
-        chain = self._armed if self._base.rate == 0.0 else [self._base, *self._armed]
         for impairment in chain:
             nxt = []
             for pkt, delay in entries:
@@ -121,6 +147,6 @@ class DummynetPipe:
                 self.corrupted_packets += 1
             total_delay = delay + self.extra_delay_ns
             if total_delay:
-                self.kernel.call_after(total_delay, self.sink, pkt)
+                self.kernel.post_after(total_delay, sink, pkt)
             else:
-                self.sink(pkt)
+                sink(pkt)

@@ -37,19 +37,43 @@ class HostCPU:
         """
         if cost_ns < 0:
             raise ValueError(f"negative CPU cost: {cost_ns}")
-        start = max(self.kernel.now, self._busy_until)
+        # per-packet hot path: avoid max()/property overhead, and schedule
+        # through the fire-and-forget kernel path (CPU work is never
+        # cancelled, so no Timer handle is needed)
+        kernel = self.kernel
+        now = kernel._now
+        start = self._busy_until
+        if start < now:
+            start = now
         done = start + cost_ns
         self._busy_until = done
         self.total_busy_ns += cost_ns
-        if done == self.kernel.now:
+        if done == now:
             fn(*args)
         else:
-            self.kernel.call_at(done, fn, *args)
+            kernel.post_at(done, fn, *args)
         return done
 
     def charge(self, cost_ns: int) -> int:
-        """Account CPU time without attaching a callback."""
-        return self.execute(cost_ns, _noop)
+        """Account CPU time without attaching a callback.
+
+        Same serialisation as ``execute(cost_ns, _noop)`` — the no-op
+        completion event still lands on the heap so clock advance and
+        deadlock detection are unchanged — minus one call frame.
+        """
+        if cost_ns < 0:
+            raise ValueError(f"negative CPU cost: {cost_ns}")
+        kernel = self.kernel
+        now = kernel._now
+        start = self._busy_until
+        if start < now:
+            start = now
+        done = start + cost_ns
+        self._busy_until = done
+        self.total_busy_ns += cost_ns
+        if done != now:
+            kernel.post_at(done, _noop)
+        return done
 
 
 def _noop() -> None:
@@ -70,6 +94,17 @@ class Host:
         self.cost_model = cost_model or CostModel()
         self.cpu = HostCPU(kernel)
         self.interfaces: List[NIC] = []
+        self._nic_by_addr: Dict[str, NIC] = {}
+        # prebound per-address NIC.send / per-proto handler.receive: the
+        # data path schedules these once per packet, and looking up a
+        # stored bound method is cheaper than re-binding it each time
+        self._nic_send_by_addr: Dict[str, Callable[[Packet], None]] = {}
+        self._handler_recv: Dict[str, Callable[[Packet], None]] = {}
+        # with CRC32c off (the paper's configuration) packet CPU costs are
+        # size-independent, so they can be memoised per protocol
+        self._packet_cost_cache: Optional[Dict[str, tuple]] = (
+            {} if self.cost_model.crc32c_per_kib_ns == 0 else None
+        )
         self._handlers: Dict[str, Any] = {}
         self.rx_packets = 0
         self.tx_packets = 0
@@ -86,6 +121,9 @@ class Host:
         """Attach a NIC; the first attached NIC is the primary address."""
         nic.host = self
         self.interfaces.append(nic)
+        if nic.addr not in self._nic_by_addr:
+            self._nic_by_addr[nic.addr] = nic
+            self._nic_send_by_addr[nic.addr] = nic.send
         return nic
 
     def addresses(self) -> List[str]:
@@ -101,9 +139,9 @@ class Host:
 
     def nic_for(self, addr: str) -> NIC:
         """The NIC bound to ``addr`` (falls back to the primary NIC)."""
-        for nic in self.interfaces:
-            if nic.addr == addr:
-                return nic
+        nic = self._nic_by_addr.get(addr)
+        if nic is not None:
+            return nic
         return self.interfaces[0]
 
     # -- protocol handlers -------------------------------------------------
@@ -112,32 +150,79 @@ class Host:
         if proto in self._handlers:
             raise ValueError(f"host {self.name}: protocol {proto} already registered")
         self._handlers[proto] = handler
+        self._handler_recv[proto] = handler.receive
 
     def protocol_handler(self, proto: str) -> Any:
         """Look up a previously registered handler."""
         return self._handlers[proto]
 
     # -- data path ---------------------------------------------------------
+    def _packet_costs(self, proto: str, wire_size: int) -> tuple:
+        """(send_cost, recv_cost) for one packet, memoised when constant."""
+        cache = self._packet_cost_cache
+        if cache is not None:
+            costs = cache.get(proto)
+            if costs is None:
+                costs = cache[proto] = (
+                    self.cost_model.packet_send_cost(proto, wire_size),
+                    self.cost_model.packet_recv_cost(proto, wire_size),
+                )
+            return costs
+        return (
+            self.cost_model.packet_send_cost(proto, wire_size),
+            self.cost_model.packet_recv_cost(proto, wire_size),
+        )
+
     def send(self, packet: Packet) -> None:
         """Transmit ``packet`` out of the NIC owning ``packet.src``,
         charging the protocol's per-packet send CPU first."""
-        nic = self.nic_for(packet.src)
-        cost = self.cost_model.packet_send_cost(packet.proto, packet.wire_size)
+        nic_send = self._nic_send_by_addr.get(packet.src)
+        if nic_send is None:
+            nic_send = self.interfaces[0].send  # unknown src: primary NIC
+        cost = self._packet_costs(packet.proto, packet.wire_size)[0]
         self.tx_packets += 1
-        for tap in self.taps:
-            tap("tx", self, packet)
-        self.cpu.execute(cost, nic.send, packet)
+        if self.taps:
+            for tap in self.taps:
+                tap("tx", self, packet)
+        # per-packet hot path: HostCPU.execute inlined (the cost model
+        # never returns a negative charge, so the guard is skipped)
+        cpu = self.cpu
+        kernel = cpu.kernel
+        now = kernel._now
+        start = cpu._busy_until
+        if start < now:
+            start = now
+        done = start + cost
+        cpu._busy_until = done
+        cpu.total_busy_ns += cost
+        if done == now:
+            nic_send(packet)
+        else:
+            kernel.post_at(done, nic_send, packet)
 
     def deliver(self, packet: Packet) -> None:
         """Ingress path: charge receive CPU, then demux to the transport."""
-        handler = self._handlers.get(packet.proto)
-        if handler is None:
+        handler_recv = self._handler_recv.get(packet.proto)
+        if handler_recv is None:
             return  # no listener: silently dropped, like an unhandled proto
         self.rx_packets += 1
-        for tap in self.taps:
-            tap("rx", self, packet)
-        cost = self.cost_model.packet_recv_cost(packet.proto, packet.wire_size)
-        self.cpu.execute(cost, handler.receive, packet)
+        if self.taps:
+            for tap in self.taps:
+                tap("rx", self, packet)
+        cost = self._packet_costs(packet.proto, packet.wire_size)[1]
+        cpu = self.cpu
+        kernel = cpu.kernel
+        now = kernel._now
+        start = cpu._busy_until
+        if start < now:
+            start = now
+        done = start + cost
+        cpu._busy_until = done
+        cpu.total_busy_ns += cost
+        if done == now:
+            handler_recv(packet)
+        else:
+            kernel.post_at(done, handler_recv, packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Host {self.name} {self.addresses()}>"

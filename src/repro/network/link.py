@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..simkernel import Kernel, tx_time_ns
+from ..simkernel import Kernel
 from .packet import Packet
 
 Sink = Callable[[Packet], None]
@@ -33,6 +33,8 @@ class Link:
     ) -> None:
         if prop_delay_ns < 0:
             raise ValueError("propagation delay cannot be negative")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"non-positive bandwidth: {bandwidth_bps}")
         self.kernel = kernel
         self.name = name
         self.bandwidth_bps = bandwidth_bps
@@ -41,6 +43,9 @@ class Link:
         self.sink = sink
         self._ready_at = 0  # virtual time the transmitter becomes idle
         self._queued_bytes = 0
+        # prebound completion callback: one bound-method allocation per
+        # link instead of one per transmitted packet
+        self._tx_complete_cb = self._tx_complete
         self.up = True  # administrative state (repro.faults link: targets)
         # statistics
         self.tx_packets = 0
@@ -81,25 +86,35 @@ class Link:
         if not self.up:
             self.admin_down_drops += 1
             return False
-        if self._queued_bytes + packet.wire_size > self.queue_bytes:
+        size = packet.wire_size
+        queued = self._queued_bytes + size
+        if queued > self.queue_bytes:
             self.dropped_packets += 1
-            self.dropped_bytes += packet.wire_size
+            self.dropped_bytes += size
             return False
-        self._queued_bytes += packet.wire_size
+        self._queued_bytes = queued
         if self._occupancy_hist is not None:
-            self._occupancy_hist.observe(self._queued_bytes)
-        now = self.kernel.now
-        start = max(now, self._ready_at)
-        done = start + tx_time_ns(packet.wire_size, self.bandwidth_bps)
+            self._occupancy_hist.observe(queued)
+        # hot path: serialisation delay inlined (identical arithmetic to
+        # simkernel.units.tx_time_ns) and completion scheduled through the
+        # fire-and-forget kernel path — a transmission is never cancelled
+        kernel = self.kernel
+        now = kernel._now
+        start = self._ready_at
+        if start < now:
+            start = now
+        bandwidth = self.bandwidth_bps
+        tx_ns = (size * 8_000_000_000 + bandwidth - 1) // bandwidth
+        done = start + (tx_ns if tx_ns > 0 else 1)
         self._ready_at = done
         self.tx_packets += 1
-        self.tx_bytes += packet.wire_size
-        self.kernel.call_at(done, self._tx_complete, packet)
+        self.tx_bytes += size
+        kernel.post_at(done, self._tx_complete_cb, packet)
         return True
 
     def _tx_complete(self, packet: Packet) -> None:
         self._queued_bytes -= packet.wire_size
         if self.prop_delay_ns:
-            self.kernel.call_after(self.prop_delay_ns, self.sink, packet)
+            self.kernel.post_after(self.prop_delay_ns, self.sink, packet)
         else:
             self.sink(packet)

@@ -16,20 +16,21 @@ from dataclasses import dataclass, field
 from typing import Any
 
 _packet_ids = itertools.count(1)
+_next_packet_id = _packet_ids.__next__  # bound method: no lambda per packet
 
 IP_HEADER = 20
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One simulated IP datagram."""
+    """One simulated IP datagram (slotted: one per wire transmission)."""
 
     src: str
     dst: str
     proto: str  # "tcp" | "sctp" (plus anything tests register)
     payload: Any
     wire_size: int  # total on-wire bytes including IP + transport headers
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    pkt_id: int = field(default_factory=_next_packet_id)
     # set by the Corrupt impairment (repro.faults): the datagram still
     # occupies the wire, but the receiving transport's integrity check
     # (SCTP CRC32c, TCP checksum) must reject it on arrival

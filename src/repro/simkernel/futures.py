@@ -33,7 +33,9 @@ class Future:
         self._state = _PENDING
         self._result: Any = None
         self._exception: Optional[BaseException] = None
-        self._callbacks: list[Callable[[Future], None]] = []
+        # lazy: most futures resolve without ever getting a callback, so
+        # the list is only allocated on first add_done_callback
+        self._callbacks: Optional[list[Callable[[Future], None]]] = None
         self.name = name
 
     # -- inspection ------------------------------------------------------
@@ -64,7 +66,7 @@ class Future:
     # -- completion ------------------------------------------------------
     def set_result(self, value: Any) -> None:
         """Complete the future successfully and run completion callbacks."""
-        if self._state != _PENDING:
+        if self._state is not _PENDING:
             raise InvalidStateError(f"future {self.name!r} already {self._state}")
         self._state = _DONE
         self._result = value
@@ -72,7 +74,7 @@ class Future:
 
     def set_exception(self, exc: BaseException) -> None:
         """Complete the future with an exception."""
-        if self._state != _PENDING:
+        if self._state is not _PENDING:
             raise InvalidStateError(f"future {self.name!r} already {self._state}")
         self._state = _DONE
         self._exception = exc
@@ -80,7 +82,7 @@ class Future:
 
     def cancel(self) -> bool:
         """Cancel if still pending; returns whether a cancellation happened."""
-        if self._state != _PENDING:
+        if self._state is not _PENDING:
             return False
         self._state = _CANCELLED
         self._run_callbacks()
@@ -88,19 +90,24 @@ class Future:
 
     def add_done_callback(self, fn: Callable[[Future], None]) -> None:
         """Run ``fn(self)`` when done (immediately if already done)."""
-        if self.done():
+        if self._state is not _PENDING:
             fn(self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
     def _run_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
+        callbacks = self._callbacks
+        if callbacks is None:
+            return
+        self._callbacks = None
         for fn in callbacks:
             fn(self)
 
     # -- awaiting --------------------------------------------------------
     def __await__(self):
-        if not self.done():
+        if self._state is _PENDING:
             yield self
         return self.result()
 
@@ -142,15 +149,17 @@ class Task(Future):
         return super().cancel()
 
     def _wakeup(self, fut: Future) -> None:
-        if self.done():
+        # fires once per task step: read the slots directly (fut is done
+        # by contract here, so the accessor guards would never trip)
+        if self._state is not _PENDING:
             return
         if fut is not self._awaiting:
             return  # stale wakeup from a future we abandoned via cancel()
         self._awaiting = None
-        if fut.cancelled():
+        if fut._state is _CANCELLED:
             self._step(None, CancelledError(fut.name))
-        elif fut.exception() is not None:
-            self._step(None, fut.exception())
+        elif fut._exception is not None:
+            self._step(None, fut._exception)
         else:
             self._step(fut._result, None)
 

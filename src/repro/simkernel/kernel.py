@@ -4,17 +4,34 @@ A :class:`Kernel` owns the clock (integer nanoseconds), a binary heap of
 timers, and the root of every named RNG stream.  It is single-threaded and
 fully deterministic: two runs with the same configuration and seed produce
 identical event sequences.
+
+Hot-path design (the simulator spends most of its wall-clock time here):
+
+* two scheduling paths share one heap and one sequence counter, so event
+  *order* is identical whichever a caller uses: :meth:`Kernel.call_at`
+  returns a cancellable :class:`Timer` handle, while :meth:`Kernel.post_at`
+  is the fire-and-forget path that pushes a bare ``(fn, args)`` tuple —
+  no handle object is ever allocated, which is what the per-packet
+  machinery (links, host CPUs, pipes) uses;
+* live-timer accounting is O(1): a maintained counter is incremented on
+  schedule and decremented on fire/cancel, so the ``pending_timers``
+  metrics probe never scans the heap;
+* cancellation is lazy (the heap entry stays until popped), but when
+  cancelled entries dominate a large heap the kernel compacts it in place,
+  so a long idle simulation that cancelled thousands of retransmission
+  timers doesn't drag them along forever.  Compaction preserves event
+  order exactly because heap keys ``(when, seq)`` are unique.
 """
 
 from __future__ import annotations
 
 import hashlib
-import heapq
 import random
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Coroutine, Iterable, Optional
 
 from ..metrics.registry import MetricsRegistry
-from .futures import Future, Task
+from .futures import _PENDING, Future, Task
 
 # timer-heap depth buckets: powers of four up to a million timers
 HEAP_DEPTH_EDGES = (4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
@@ -23,31 +40,53 @@ HEAP_DEPTH_EDGES = (4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
 class Timer:
     """Handle for a scheduled callback; supports O(1) cancellation."""
 
-    __slots__ = ("when", "fn", "args", "cancelled")
+    __slots__ = ("when", "fn", "args", "cancelled", "_kernel")
 
-    def __init__(self, when: int, fn: Callable, args: tuple) -> None:
+    def __init__(
+        self, when: int, fn: Callable, args: tuple, kernel: Optional["Kernel"] = None
+    ) -> None:
         self.when = when
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Back-reference for live-timer accounting; detached (set to None)
+        # when the timer fires, so a late cancel() is a pure no-op.
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Prevent the callback from firing (no-op if already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = None
         self.args = ()
+        kernel = self._kernel
+        if kernel is not None:
+            self._kernel = None
+            kernel._note_cancelled()
 
 
 class Kernel:
     """Discrete-event loop with an integer nanosecond virtual clock."""
 
+    # lazy-deletion compaction policy: rebuild the heap once it holds at
+    # least COMPACT_MIN_HEAP entries and more than half are cancelled
+    COMPACT_MIN_HEAP = 1024
+
     def __init__(self, seed: int = 0, metrics: Optional[MetricsRegistry] = None) -> None:
         self.seed = seed
         self._now = 0
-        self._heap: list[tuple[int, int, Timer]] = []
+        # entries are (when, seq, Timer) from call_at or (when, seq,
+        # (fn, args)) from post_at; (when, seq) is unique so the third
+        # element is never compared
+        self._heap: list[tuple] = []
         self._seq = 0
         self._events_processed = 0
+        self._live_events = 0  # scheduled, not yet fired or cancelled
+        self._cancelled_in_heap = 0  # lazy-deleted entries awaiting pop
+        self._compactions = 0
         self._tasks: list[Task] = []
+        self._rng_cache: dict[str, random.Random] = {}
         # The kernel owns the metrics registry every layer registers into.
         # Metric registration never touches the RNG machinery, so streams
         # are identical whether or not a simulation is instrumented.
@@ -55,6 +94,8 @@ class Kernel:
         scope = self.metrics.scope("kernel")
         scope.probe("events_processed", lambda: self._events_processed)
         scope.probe("pending_timers", self.pending_events)
+        scope.probe("cancelled_in_heap", lambda: self._cancelled_in_heap)
+        scope.probe("heap_compactions", lambda: self._compactions)
         scope.probe("tasks_spawned", lambda: len(self._tasks))
         scope.probe("now_ns", lambda: self._now)
         # heap-depth histogram observed on every schedule; None when the
@@ -76,28 +117,78 @@ class Kernel:
         """A reproducible RNG stream named ``label``.
 
         The stream seed is a stable hash of ``(kernel seed, label)`` so
-        adding a new consumer never perturbs existing streams.
+        adding a new consumer never perturbs existing streams.  Streams
+        are cached per label: asking twice for the same label returns the
+        *same* generator (continuing its sequence), and the SHA-256
+        derivation is paid once per label, not once per call.
         """
-        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
-        return random.Random(int.from_bytes(digest[:8], "big"))
+        stream = self._rng_cache.get(label)
+        if stream is None:
+            digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+            stream = random.Random(int.from_bytes(digest[:8], "big"))
+            self._rng_cache[label] = stream
+        return stream
 
     # -- scheduling ------------------------------------------------------
     def call_at(self, when: int, fn: Callable, *args: Any) -> Timer:
         """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        timer = Timer(when, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, timer))
-        if self._heap_depth_hist is not None:
-            self._heap_depth_hist.observe(len(self._heap))
+        timer = Timer(when, fn, args, self)
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (when, seq, timer))
+        self._live_events += 1
+        hist = self._heap_depth_hist
+        if hist is not None:
+            hist.observe(len(self._heap))
         return timer
 
     def call_after(self, delay: int, fn: Callable, *args: Any) -> Timer:
         """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, fn, *args)
+        # body of call_at inlined (minus the past-check: now+delay >= now)
+        timer = Timer(self._now + delay, fn, args, self)
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (timer.when, seq, timer))
+        self._live_events += 1
+        hist = self._heap_depth_hist
+        if hist is not None:
+            hist.observe(len(self._heap))
+        return timer
+
+    def post_at(self, when: int, fn: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`call_at`: no cancellable handle.
+
+        The cheap-construction scheduling path for high-churn callers
+        (per-packet link/CPU completions) that never cancel: it allocates
+        one tuple instead of a :class:`Timer`.  Ordering is identical to
+        ``call_at`` — both share the clock and sequence counter.
+        """
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (when, seq, (fn, args)))
+        self._live_events += 1
+        hist = self._heap_depth_hist
+        if hist is not None:
+            hist.observe(len(self._heap))
+
+    def post_after(self, delay: int, fn: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`call_after` (see :meth:`post_at`).
+
+        This is the single hottest scheduling call in a run (every link
+        hop, CPU charge, and pipe transfer lands here), so the
+        :meth:`post_at` body is inlined rather than delegated.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, seq, (fn, args)))
+        self._live_events += 1
+        hist = self._heap_depth_hist
+        if hist is not None:
+            hist.observe(len(self._heap))
 
     def call_window(
         self,
@@ -130,8 +221,8 @@ class Kernel:
 
     def sleep(self, delay: int) -> Future:
         """Future that completes ``delay`` ns from now (``await kernel.sleep(d)``)."""
-        fut = Future(name=f"sleep@{self._now}+{delay}")
-        self.call_after(delay, fut.set_result, None)
+        fut = Future(name="sleep")  # static name: one sleep per compute phase
+        self.post_after(delay, fut.set_result, None)
         return fut
 
     def spawn(self, coro: Coroutine, name: str = "") -> Task:
@@ -141,45 +232,136 @@ class Kernel:
         task.start()
         return task
 
+    # -- heap maintenance --------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Account one Timer.cancel(); compact if dead entries dominate."""
+        self._live_events -= 1
+        self._cancelled_in_heap += 1
+        heap_size = len(self._heap)
+        if heap_size >= self.COMPACT_MIN_HEAP and 2 * self._cancelled_in_heap > heap_size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop lazily-deleted entries and re-heapify, in place.
+
+        Order-preserving: heap keys ``(when, seq)`` are unique, so any
+        valid heap over the surviving entries pops in the same total
+        order.  In-place (slice assignment) so a ``run()`` loop holding a
+        reference to the heap list sees the compacted state.
+        """
+        self._heap[:] = [
+            entry
+            for entry in self._heap
+            if type(entry[2]) is not Timer or not entry[2].cancelled
+        ]
+        heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
     # -- running ---------------------------------------------------------
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Process events until the heap drains, ``until`` is reached, or
         ``max_events`` fire.  Returns the number of events processed."""
+        heap = self._heap  # _compact() mutates in place, never rebinds
         processed = 0
-        while self._heap:
-            when, _, timer = self._heap[0]
-            if until is not None and when > until:
-                self._now = until
-                break
-            heapq.heappop(self._heap)
-            if timer.cancelled:
-                continue
-            self._now = when
-            fn, args = timer.fn, timer.args
-            timer.fn, timer.args = None, ()  # break refcycles early
-            fn(*args)
-            processed += 1
-            self._events_processed += 1
-            if max_events is not None and processed >= max_events:
-                break
-        else:
+        try:
+            while heap:
+                entry = heap[0]
+                when = entry[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return processed
+                heappop(heap)
+                obj = entry[2]
+                if type(obj) is Timer:
+                    if obj.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    obj._kernel = None  # fired: later cancel() is a no-op
+                    fn = obj.fn
+                    args = obj.args
+                    obj.fn, obj.args = None, ()  # break refcycles early
+                else:
+                    fn, args = obj
+                self._live_events -= 1
+                self._now = when
+                fn(*args)
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    return processed
             if until is not None and until > self._now:
                 self._now = until
-        return processed
+            return processed
+        finally:
+            self._events_processed += processed
 
     def run_until(self, fut: Future, limit: Optional[int] = None) -> Any:
-        """Run until ``fut`` completes; raise if the simulation stalls first."""
-        while not fut.done():
-            if not self._heap:
-                raise DeadlockError(
-                    f"event heap drained at t={self._now}ns but {fut!r} is still "
-                    "pending (simulation deadlock)"
-                )
-            if limit is not None and self._heap[0][0] > limit:
-                raise TimeoutError(
-                    f"{fut!r} still pending at virtual time limit {limit}ns"
-                )
-            self.run(max_events=1)
+        """Run until ``fut`` completes; raise if the simulation stalls first.
+
+        This is the driver every ``World.run`` sits in, so the one-event
+        step is inlined rather than paying a full :meth:`run` call per
+        event (frame setup, try/finally, loop re-entry); semantics and
+        event order are identical to ``run(max_events=1)`` in a loop.
+        """
+        heap = self._heap  # _compact() mutates in place, never rebinds
+        processed = 0
+        try:
+            if limit is None:
+                # no-limit variant: pop-and-unpack directly, no peek and no
+                # per-event limit test (this is the common World.run path)
+                pop = heappop  # local: one global lookup per run, not per event
+                while fut._state is _PENDING:
+                    if not heap:
+                        raise DeadlockError(
+                            f"event heap drained at t={self._now}ns but {fut!r} "
+                            "is still pending (simulation deadlock)"
+                        )
+                    when, _seq, obj = pop(heap)
+                    if type(obj) is Timer:
+                        if obj.cancelled:
+                            self._cancelled_in_heap -= 1
+                            continue
+                        obj._kernel = None  # fired: later cancel() is a no-op
+                        fn = obj.fn
+                        args = obj.args
+                        obj.fn, obj.args = None, ()  # break refcycles early
+                    else:
+                        fn, args = obj
+                    self._live_events -= 1
+                    self._now = when
+                    fn(*args)
+                    processed += 1
+                return fut.result()
+            # fut._state check == Future.done(), minus a method call per event
+            while fut._state is _PENDING:
+                if not heap:
+                    raise DeadlockError(
+                        f"event heap drained at t={self._now}ns but {fut!r} is "
+                        "still pending (simulation deadlock)"
+                    )
+                entry = heap[0]
+                if entry[0] > limit:
+                    raise TimeoutError(
+                        f"{fut!r} still pending at virtual time limit {limit}ns"
+                    )
+                heappop(heap)
+                obj = entry[2]
+                if type(obj) is Timer:
+                    if obj.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    obj._kernel = None  # fired: later cancel() is a no-op
+                    fn = obj.fn
+                    args = obj.args
+                    obj.fn, obj.args = None, ()  # break refcycles early
+                else:
+                    fn, args = obj
+                self._live_events -= 1
+                self._now = entry[0]
+                fn(*args)
+                processed += 1
+        finally:
+            self._events_processed += processed
         return fut.result()
 
     @property
@@ -188,8 +370,13 @@ class Kernel:
         return self._events_processed
 
     def pending_events(self) -> int:
-        """Live (non-cancelled) timers still queued."""
-        return sum(1 for _, _, t in self._heap if not t.cancelled)
+        """Live (non-cancelled) events still queued — O(1), maintained."""
+        return self._live_events
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the timer heap was compacted (for diagnostics/tests)."""
+        return self._compactions
 
     def failed_tasks(self) -> Iterable[Task]:
         """Tasks that completed with an exception (useful in test asserts)."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Iterable, Sequence
 
-from .futures import Future
+from .futures import _PENDING, Future
 
 
 def wait_all(futures: Sequence[Future]) -> Future:
@@ -51,14 +51,27 @@ def wait_any(futures: Sequence[Future]) -> Future:
     futures = list(futures)
     if not futures:
         raise ValueError("wait_any() requires at least one future")
-    out = Future(name=f"wait_any({len(futures)})")
+    # hot path (every select/progress loop builds one): constant name and
+    # direct slot reads — ``fut`` is done by callback contract.
+    # Already-done fast path: resolve with the first finished input (same
+    # winner the callback loop below would pick) without building any
+    # closures or touching the other futures' callback lists.
+    for i, f in enumerate(futures):
+        if f._state is not _PENDING:
+            out = Future(name="wait_any")
+            if f._exception is not None:
+                out.set_exception(f._exception)
+            else:
+                out.set_result((i, f.result()))
+            return out
+    out = Future(name="wait_any")
 
     def make_cb(index: int):
         def on_done(fut: Future) -> None:
-            if out.done():
+            if out._state is not _PENDING:
                 return
-            if fut.exception() is not None:
-                out.set_exception(fut.exception())
+            if fut._exception is not None:
+                out.set_exception(fut._exception)
             else:
                 out.set_result((index, fut.result()))
 
@@ -76,6 +89,7 @@ class AsyncEvent:
         self.name = name
         self._set = False
         self._waiters: list[Future] = []
+        self._wait_name = "event:" + name  # computed once, not per wait()
 
     def is_set(self) -> bool:
         """Whether the event has fired."""
@@ -97,7 +111,7 @@ class AsyncEvent:
 
     def wait(self) -> Future:
         """Future completing when the event is (or already was) set."""
-        fut = Future(name=f"event:{self.name}")
+        fut = Future(name=self._wait_name)
         if self._set:
             fut.set_result(None)
         else:
@@ -112,6 +126,7 @@ class AsyncQueue:
         self.name = name
         self._items: deque[Any] = deque()
         self._getters: deque[Future] = deque()
+        self._get_name = f"queue:{name}.get"  # computed once, not per get()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -132,7 +147,7 @@ class AsyncQueue:
 
     def get(self) -> Future:
         """Future yielding the next item (immediately if one is queued)."""
-        fut = Future(name=f"queue:{self.name}.get")
+        fut = Future(name=self._get_name)
         if self._items:
             fut.set_result(self._items.popleft())
         else:

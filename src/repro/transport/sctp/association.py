@@ -105,9 +105,10 @@ class SCTPConfig:
         return self.sndbuf
 
 
-@dataclass
+@dataclass(slots=True)
 class TxRecord:
-    """Book-keeping for one outstanding DATA chunk."""
+    """Book-keeping for one outstanding DATA chunk (slotted: one per
+    in-flight chunk, rebuilt on every transmission)."""
 
     chunk: DataChunk
     path_addr: str
@@ -192,7 +193,12 @@ class Association:
         self.cum_tsn_acked = self.my_initial_tsn - 1
         self._t3_timers: Dict[str, Timer] = {}
         self._rtt_probe: Dict[str, Tuple[int, int]] = {}  # addr -> (tsn, sent_at)
+        self._source_cache: Dict[str, str] = {}  # dest addr -> local addr
         self._next_window_probe_ns = 0  # zero-window probes are RTO-paced
+        # conservative "any chunk marked for retransmit" flag: lets the
+        # per-SACK _flush_marked skip scanning outstanding in the
+        # loss-free steady state (stale True just falls back to the scan)
+        self._any_marked = False
         self._assoc_error_count = 0
         self._init_retries = 0
         self._t1_timer: Optional[Timer] = None
@@ -394,31 +400,31 @@ class Association:
         ssn = 0 if unordered else self.outbound.next_ssn(sid)
         budget = self.config.chunk_payload_budget
         nbytes = payload.nbytes
-        offset = 0
-        first = True
-        while True:
-            remaining = nbytes - offset
-            take = min(budget, remaining)
-            fragment = payload.slice(offset, offset + take)
-            offset += take
-            last = offset >= nbytes
+        if nbytes <= budget:
+            # single-fragment fast path: no slicing, no loop bookkeeping
             self.send_queue.append(
-                DataChunk(
-                    tsn=self.next_tsn,
-                    sid=sid,
-                    ssn=ssn,
-                    payload=fragment,
-                    begin=first,
-                    end=last,
-                    unordered=unordered,
-                    ppid=ppid,
-                )
+                DataChunk(self.next_tsn, sid, ssn, payload, True, True, unordered, ppid)
             )
             self.next_tsn += 1
-            self.queued_bytes += take
-            first = False
-            if last:
-                break
+            self.queued_bytes += nbytes
+        else:
+            offset = 0
+            first = True
+            while True:
+                remaining = nbytes - offset
+                take = budget if budget < remaining else remaining
+                fragment = payload.slice(offset, offset + take)
+                offset += take
+                last = offset >= nbytes
+                # positional args: fragmentation builds many chunks per call
+                self.send_queue.append(
+                    DataChunk(self.next_tsn, sid, ssn, fragment, first, last, unordered, ppid)
+                )
+                self.next_tsn += 1
+                self.queued_bytes += take
+                first = False
+                if last:
+                    break
         self._touch_autoclose()
         if self.state == ESTABLISHED:
             self._try_send()
@@ -467,40 +473,42 @@ class Association:
         them as outstanding on ``path_addr``."""
         chunks: List[DataChunk] = []
         path = self.paths[path_addr]
-        while self.send_queue:
-            head = self.send_queue[0]
-            if head.wire_size() > budget:
+        now = self.kernel._now
+        send_queue = self.send_queue
+        outstanding = self.outstanding
+        stats = self.stats
+        while send_queue:
+            head = send_queue[0]
+            head_wire = head._wire  # == wire_size(), sans the method call
+            if head_wire > budget:
                 break
-            if self.peer_rwnd < head.payload.nbytes:
+            size = head.payload.nbytes
+            if self.peer_rwnd < size:
                 if self.outstanding_bytes > 0 or chunks:
                     break  # window closed: at most one probe chunk in flight
-                if self.kernel.now < self._next_window_probe_ns:
+                if now < self._next_window_probe_ns:
                     # zero-window probes are paced by the RTO: retry later
                     self.kernel.call_at(
                         self._next_window_probe_ns, self._try_send
                     )
                     break
-                self._next_window_probe_ns = self.kernel.now + path.rto.rto_ns
-            self.send_queue.popleft()
+                self._next_window_probe_ns = now + path.rto.rto_ns
+            send_queue.popleft()
             chunks.append(head)
-            budget -= head.wire_size()
-            size = head.payload.nbytes
+            budget -= head_wire
             self.queued_bytes -= size
-            self.outstanding[head.tsn] = TxRecord(
-                chunk=head,
-                path_addr=path_addr,
-                sent_at_ns=self.kernel.now,
-            )
+            outstanding[head.tsn] = TxRecord(head, path_addr, now)
             self.outstanding_bytes += size
             path.outstanding_bytes += size
             path.bytes_sent += size
-            self.peer_rwnd = max(0, self.peer_rwnd - size)
-            self.stats.data_chunks_sent += 1
-            self.stats.bytes_sent += size
+            rwnd = self.peer_rwnd - size
+            self.peer_rwnd = rwnd if rwnd > 0 else 0
+            stats.data_chunks_sent += 1
+            stats.bytes_sent += size
             if path.outstanding_bytes >= path.cwnd:
                 break
         if chunks and path_addr not in self._rtt_probe:
-            self._rtt_probe[path_addr] = (chunks[-1].tsn, self.kernel.now)
+            self._rtt_probe[path_addr] = (chunks[-1].tsn, now)
         return chunks
 
     def _active_paths(self) -> List[PathState]:
@@ -521,11 +529,11 @@ class Association:
             if self.peer_rwnd <= 0 and self.outstanding_bytes > 0:
                 break
             chunks: List[Chunk] = []
+            budget = self.config.packet_chunk_budget
             if self._sack_is_pending():
-                chunks.append(self._build_sack())
-            budget = self.config.packet_chunk_budget - sum(
-                c.wire_size() for c in chunks
-            )
+                sack = self._build_sack()
+                chunks.append(sack)
+                budget -= sack.wire_size()
             data = self._dequeue_for_bundle(budget, path.addr)
             if not data:
                 if chunks:
@@ -553,11 +561,11 @@ class Association:
                 if self.peer_rwnd <= 0 and self.outstanding_bytes > 0:
                     return
                 chunks: List[Chunk] = []
+                budget = self.config.packet_chunk_budget
                 if self._sack_is_pending():
-                    chunks.append(self._build_sack())
-                budget = self.config.packet_chunk_budget - sum(
-                    c.wire_size() for c in chunks
-                )
+                    sack = self._build_sack()
+                    chunks.append(sack)
+                    budget -= sack.wire_size()
                 data = self._dequeue_for_bundle(budget, path.addr)
                 if not data:
                     if chunks:
@@ -585,12 +593,22 @@ class Association:
         )
 
     def _source_for(self, dest_addr: str) -> str:
-        """Pick the local address on the same subnet as the destination."""
-        dest_net = dest_addr.rsplit(".", 1)[0]
-        for addr in self.host.addresses():
-            if addr.rsplit(".", 1)[0] == dest_net:
-                return addr
-        return self.host.primary_address
+        """Pick the local address on the same subnet as the destination.
+
+        Cached per destination: host interfaces are fixed before any
+        association exists, and this runs once per transmitted packet.
+        """
+        src = self._source_cache.get(dest_addr)
+        if src is None:
+            dest_net = dest_addr.rsplit(".", 1)[0]
+            for addr in self.host.addresses():
+                if addr.rsplit(".", 1)[0] == dest_net:
+                    src = addr
+                    break
+            else:
+                src = self.host.primary_address
+            self._source_cache[dest_addr] = src
+        return src
 
     # ------------------------------------------------------------------
     # packet input (called by the endpoint after vtag validation)
@@ -650,10 +668,13 @@ class Association:
             return
         self.stats.data_chunks_received += 1
         self.stats.bytes_received += chunk.payload.nbytes
-        self._received_above_cum.add(tsn)
-        while (self.rcv_cum_tsn + 1) in self._received_above_cum:
-            self.rcv_cum_tsn += 1
-            self._received_above_cum.discard(self.rcv_cum_tsn)
+        if tsn == self.rcv_cum_tsn + 1 and not self._received_above_cum:
+            self.rcv_cum_tsn = tsn  # in-order, no gap: skip the set churn
+        else:
+            self._received_above_cum.add(tsn)
+            while (self.rcv_cum_tsn + 1) in self._received_above_cum:
+                self.rcv_cum_tsn += 1
+                self._received_above_cum.discard(self.rcv_cum_tsn)
         for message in self.inbound.on_data(chunk):
             self._owner_buffered += message.nbytes
             self.stats.messages_delivered += 1
@@ -735,22 +756,41 @@ class Association:
         }
         cum_advanced = sack.cum_tsn > self.cum_tsn_acked
 
-        # cumulative acknowledgement
+        # cumulative acknowledgement — per-TSN hot loop, with the bodies
+        # of _account_acked/_maybe_rtt_sample inlined (several chunks are
+        # popped per SACK; the helper frames dominated the loop)
         highest_newly_acked = None  # HTNA, RFC 4960 §7.2.4
         htna_per_path: Dict[str, int] = {}  # CMT split fast retransmit
-        while self.outstanding:
-            tsn = next(iter(self.outstanding))
-            if tsn > sack.cum_tsn:
+        outstanding = self.outstanding
+        paths = self.paths
+        rtt_probe = self._rtt_probe
+        cum_tsn = sack.cum_tsn
+        while outstanding:
+            tsn = next(iter(outstanding))
+            if tsn > cum_tsn:
                 break
-            record = self.outstanding.pop(tsn)
-            self._account_acked(record, newly_acked, count_bytes=not record.gap_acked)
-            self._maybe_rtt_sample(record)
+            record = outstanding.pop(tsn)
+            addr = record.path_addr
+            if not record.gap_acked:
+                size = record.chunk.payload.nbytes
+                self.outstanding_bytes -= size
+                path = paths.get(addr)
+                if path is not None:
+                    left = path.outstanding_bytes - size
+                    path.outstanding_bytes = left if left > 0 else 0
+                newly_acked[addr] = newly_acked.get(addr, 0) + size
+            probe = rtt_probe.get(addr)
+            if probe is not None and record.chunk.tsn == probe[0]:
+                del rtt_probe[addr]
+                if record.transmit_count == 1:  # Karn's rule
+                    paths[addr].rto.observe(self.kernel._now - probe[1])
             highest_newly_acked = tsn
-            htna_per_path[record.path_addr] = tsn
+            htna_per_path[addr] = tsn
         self.cum_tsn_acked = max(self.cum_tsn_acked, sack.cum_tsn)
 
-        # gap acknowledgements
-        gap_acked_tsns = sack.acked_tsns()
+        # gap acknowledgements (skip the set build entirely when the SACK
+        # carries no gap blocks — the overwhelmingly common case)
+        gap_acked_tsns = sack.acked_tsns() if sack.gaps else ()
         for tsn in gap_acked_tsns:
             record = self.outstanding.get(tsn)
             if record is not None and not record.gap_acked:
@@ -803,6 +843,7 @@ class Association:
                 record.missing_reports += 1
                 if record.missing_reports >= self.config.dupthresh:
                     record.marked_for_rtx = True
+                    self._any_marked = True
                     to_fast_rtx.append(record)
         if to_fast_rtx:
             struck_paths = {r.path_addr for r in to_fast_rtx}
@@ -817,11 +858,11 @@ class Association:
             self.paths[addr].on_bytes_acked(acked, cwnd_was_full[addr])
             if self._cwnd_hist is not None:
                 self._cwnd_hist.observe(self.paths[addr].cwnd)
-        for path in self.paths.values():
-            path.on_cum_advance(self.cum_tsn_acked)
-
-        # T3 timer management
+        # per-path cum-advance bookkeeping + T3 timer management in one
+        # pass (the two are independent per path; timer creation order
+        # across paths is unchanged — same dict iteration order)
         for addr, path in self.paths.items():
+            path.on_cum_advance(self.cum_tsn_acked)
             if path.outstanding_bytes <= 0:
                 self._cancel_t3(addr)
             elif cum_advanced:
@@ -867,9 +908,12 @@ class Association:
         RFC's timeout rule); after a SACK frees cwnd the rest must follow
         immediately rather than wait for further timer expiries.
         """
+        if not self._any_marked:
+            return  # loss-free steady state: skip the outstanding scan
         while True:
             marked = [r for r in self.outstanding.values() if r.marked_for_rtx]
             if not marked:
+                self._any_marked = False
                 return
             origin = marked[0].path_addr
             dest = None
@@ -980,6 +1024,8 @@ class Association:
         for record in on_path:
             record.marked_for_rtx = True
             record.missing_reports = 0
+        if on_path:
+            self._any_marked = True
         self._retransmit_marked()
 
     # -- heartbeats / path supervision ---------------------------------------

@@ -9,7 +9,7 @@ by the PMTU (paper §4.1.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple
 
 from ...network.packet import IP_HEADER
@@ -28,11 +28,13 @@ def _pad4(n: int) -> int:
 class Chunk:
     """Base class: every chunk knows its padded wire size."""
 
+    __slots__ = ()
+
     def wire_size(self) -> int:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class DataChunk(Chunk):
     """One (possibly fragmentary) piece of a user message."""
 
@@ -44,9 +46,15 @@ class DataChunk(Chunk):
     end: bool = True  # E bit: last fragment
     unordered: bool = False  # U bit
     ppid: int = 0  # payload protocol identifier (§2.3's PID mapping)
+    # cached: DATA wire size is queried on every bundle/budget decision
+    # and on every (re)transmission, and the payload never changes
+    _wire: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._wire = _pad4(DATA_CHUNK_HEADER + self.payload.nbytes)
 
     def wire_size(self) -> int:
-        return _pad4(DATA_CHUNK_HEADER + self.payload.nbytes)
+        return self._wire
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         frag = ("B" if self.begin else "") + ("E" if self.end else "")
@@ -56,7 +64,7 @@ class DataChunk(Chunk):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class SackChunk(Chunk):
     """Selective acknowledgement: cumulative TSN + gap-ack blocks."""
 
@@ -81,7 +89,7 @@ class SackChunk(Chunk):
         return f"<SACK cum={self.cum_tsn} rwnd={self.a_rwnd} gaps={list(self.gaps)}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class InitChunk(Chunk):
     """Association initiation (leg 1 of the four-way handshake)."""
 
@@ -96,7 +104,7 @@ class InitChunk(Chunk):
         return _pad4(CONTROL_CHUNK_BASE + 8 * len(self.addresses))
 
 
-@dataclass
+@dataclass(slots=True)
 class StateCookie:
     """Everything the server needs to build the TCB, signed and dated.
 
@@ -137,7 +145,7 @@ class StateCookie:
     SIZE = 120  # approximate serialized cookie size on the wire
 
 
-@dataclass
+@dataclass(slots=True)
 class InitAckChunk(Chunk):
     """Leg 2: mirror of INIT plus the signed state cookie."""
 
@@ -153,7 +161,7 @@ class InitAckChunk(Chunk):
         return _pad4(CONTROL_CHUNK_BASE + 8 * len(self.addresses) + StateCookie.SIZE)
 
 
-@dataclass
+@dataclass(slots=True)
 class CookieEchoChunk(Chunk):
     """Leg 3: the client echoes the cookie (may bundle DATA after it)."""
 
@@ -163,7 +171,7 @@ class CookieEchoChunk(Chunk):
         return _pad4(4 + StateCookie.SIZE)
 
 
-@dataclass
+@dataclass(slots=True)
 class CookieAckChunk(Chunk):
     """Leg 4: association fully up (may bundle DATA)."""
 
@@ -171,7 +179,7 @@ class CookieAckChunk(Chunk):
         return 4
 
 
-@dataclass
+@dataclass(slots=True)
 class HeartbeatChunk(Chunk):
     """Path probe; ``info`` is opaque and echoed back."""
 
@@ -183,7 +191,7 @@ class HeartbeatChunk(Chunk):
         return _pad4(4 + 24)
 
 
-@dataclass
+@dataclass(slots=True)
 class HeartbeatAckChunk(Chunk):
     """Echo of a HEARTBEAT's info."""
 
@@ -195,7 +203,7 @@ class HeartbeatAckChunk(Chunk):
         return _pad4(4 + 24)
 
 
-@dataclass
+@dataclass(slots=True)
 class ShutdownChunk(Chunk):
     """Graceful close (SCTP has no half-closed state, §3.5.2)."""
 
@@ -205,19 +213,19 @@ class ShutdownChunk(Chunk):
         return 8
 
 
-@dataclass
+@dataclass(slots=True)
 class ShutdownAckChunk(Chunk):
     def wire_size(self) -> int:
         return 4
 
 
-@dataclass
+@dataclass(slots=True)
 class ShutdownCompleteChunk(Chunk):
     def wire_size(self) -> int:
         return 4
 
 
-@dataclass
+@dataclass(slots=True)
 class AbortChunk(Chunk):
     """Immediate teardown (also sent for stale/invalid cookies)."""
 
@@ -227,7 +235,7 @@ class AbortChunk(Chunk):
         return _pad4(4 + len(self.reason))
 
 
-@dataclass
+@dataclass(slots=True)
 class SCTPPacket:
     """Common header + bundled chunks = one IP datagram."""
 

@@ -18,7 +18,7 @@ from ...util.blobs import ChunkList
 from .chunks import DataChunk
 
 
-@dataclass
+@dataclass(slots=True)
 class AssembledMessage:
     """A whole user message ready for (or awaiting) stream delivery."""
 
@@ -64,8 +64,9 @@ class InboundStreams:
 
     def __init__(self, n_streams: int, clock: Optional[Callable[[], int]] = None) -> None:
         self.n_streams = n_streams
-        # fragments of incomplete messages, grouped by message identity
-        self._partial: Dict[Tuple[int, int, bool], Dict[int, DataChunk]] = {}
+        # fragments of incomplete messages, grouped by message identity:
+        # key -> [fragments by TSN, B-fragment TSN or None, E-TSN or None]
+        self._partial: Dict[Tuple[int, int, bool], list] = {}
         # complete but out-of-SSN-order messages, per stream
         self._pending: Dict[int, Dict[int, AssembledMessage]] = {}
         self._next_ssn = [0] * n_streams
@@ -100,27 +101,33 @@ class InboundStreams:
             return self._offer_complete(message)
 
         key = self._key(chunk)
-        frags = self._partial.setdefault(key, {})
+        entry = self._partial.get(key)
+        if entry is None:
+            # [fragments by TSN, TSN of the B fragment, TSN of the E one]
+            entry = self._partial[key] = [{}, None, None]
+        frags = entry[0]
         frags[chunk.tsn] = chunk
-        message = self._try_assemble(key, frags)
-        if message is None:
+        if chunk.begin:
+            entry[1] = chunk.tsn
+        if chunk.end:
+            entry[2] = chunk.tsn
+        # assemble only once every fragment between B and E has arrived:
+        # fragment TSNs are contiguous and each is delivered at most once
+        # (the association dedupes), so a simple count detects completion
+        # without rescanning the fragment set on every arrival
+        first = entry[1]
+        last = entry[2]
+        if first is None or last is None or last < first:
             return []
+        if len(frags) != last - first + 1:
+            return []
+        message = self._assemble(frags, first, last)
         del self._partial[key]
         return self._offer_complete(message)
 
-    def _try_assemble(
-        self, key: Tuple[int, int, bool], frags: Dict[int, DataChunk]
-    ) -> Optional[AssembledMessage]:
-        first = last = None
-        for tsn, chunk in frags.items():
-            if chunk.begin:
-                first = tsn
-            if chunk.end:
-                last = tsn
-        if first is None or last is None or last < first:
-            return None
-        if any(tsn not in frags for tsn in range(first, last + 1)):
-            return None
+    def _assemble(
+        self, frags: Dict[int, DataChunk], first: int, last: int
+    ) -> AssembledMessage:
         data = ChunkList()
         for tsn in range(first, last + 1):
             data.append(frags[tsn].payload)

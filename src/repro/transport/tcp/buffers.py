@@ -50,7 +50,8 @@ class SendBuffer:
 
     def bytes_after(self, seq: int) -> int:
         """Unsent/unacked bytes at or above sequence ``seq``."""
-        return max(0, self._tail_seq - seq)
+        avail = self._tail_seq - seq
+        return avail if avail > 0 else 0
 
     def read_range(self, seq: int, nbytes: int) -> ChunkList:
         """Materialise payload for [seq, seq+nbytes) — used for (re)sends."""
@@ -102,7 +103,10 @@ class ReassemblyBuffer:
     @property
     def out_of_order_bytes(self) -> int:
         """Bytes parked above the in-order point (consume receive buffer)."""
-        return sum(end - start for start, end, _ in self._segments)
+        segments = self._segments
+        if not segments:  # loss-free steady state: skip the genexp setup
+            return 0
+        return sum(end - start for start, end, _ in segments)
 
     def offer(self, seq: int, data: ChunkList) -> ChunkList:
         """Accept a segment; returns newly in-order data (possibly empty).
@@ -111,23 +115,30 @@ class ReassemblyBuffer:
         duplicate; data overlapping queued segments keeps the first copy.
         """
         end = seq + data.nbytes
-        delivered = ChunkList()
-        if end <= self.rcv_nxt:
-            return delivered  # entirely duplicate
-        if seq < self.rcv_nxt:
-            data = data.slice(self.rcv_nxt - seq, data.nbytes)
-            seq = self.rcv_nxt
+        rcv_nxt = self.rcv_nxt
+        if end <= rcv_nxt:
+            return ChunkList()  # entirely duplicate
+        if seq < rcv_nxt:
+            data = data.slice(rcv_nxt - seq, data.nbytes)
+            seq = rcv_nxt
 
-        if seq == self.rcv_nxt:
-            delivered.extend(data)
+        if seq == rcv_nxt:
             self.rcv_nxt = end
+            if not self._segments:
+                # loss-free steady state: nothing parked to drain, so the
+                # segment's own payload is exactly what gets delivered
+                if self._recent_blocks:
+                    self._note_block(seq, end, arrived_in_order=True)
+                return data
+            delivered = ChunkList()
+            delivered.extend(data)
             self._drain_queue(delivered)
             self._note_block(seq, end, arrived_in_order=True)
             return delivered
 
         self._insert(seq, end, data)
         self._note_block(seq, end, arrived_in_order=False)
-        return delivered
+        return ChunkList()
 
     def _insert(self, seq: int, end: int, data: ChunkList) -> None:
         # trim against existing segments (first arrival wins)
@@ -181,6 +192,8 @@ class ReassemblyBuffer:
 
     def sack_blocks(self, max_blocks: int) -> Tuple[Tuple[int, int], ...]:
         """Most-recently-updated SACK blocks, capped at ``max_blocks``."""
+        if not self._recent_blocks:  # loss-free steady state
+            return ()
         live = [(s, e) for s, e in self._recent_blocks if e > self.rcv_nxt]
         return tuple(live[:max_blocks])
 

@@ -248,7 +248,8 @@ class TCPConnection:
     def on_segment(self, seg: TCPSegment) -> None:
         """Main receive entry, called by the endpoint demux."""
         self.stats.segments_received += 1
-        if seg.has(RST):
+        flags = seg.flags  # tested up to five times below: read the slot once
+        if flags & RST:
             if self.state != CLOSED:
                 self._teardown("connection reset by peer")
             return
@@ -257,13 +258,13 @@ class TCPConnection:
             self._on_segment_syn_sent(seg)
             return
         if self.state == SYN_RCVD:
-            if seg.has(ACK) and seg.ack == self.snd_nxt:
+            if flags & ACK and seg.ack == self.snd_nxt:
                 self.state = ESTABLISHED
                 self.snd_una = seg.ack
                 self._cancel_rtx()
                 self.on_established()
                 # fall through: the ACK may carry data
-            elif seg.has(SYN):
+            elif flags & SYN:
                 # duplicate SYN: re-send SYN|ACK
                 self._send_control(
                     SYN | ACK, seq=self.iss, ack=self.reassembly.rcv_nxt
@@ -271,16 +272,16 @@ class TCPConnection:
                 return
         if self.state == CLOSED:
             return
-        if seg.has(SYN) and self.state == ESTABLISHED:
+        if flags & SYN and self.state == ESTABLISHED:
             # duplicate SYN|ACK: our handshake ACK was lost — re-ACK it
             self._send_ack_now()
             return
 
-        if seg.has(ACK):
+        if flags & ACK:
             self._process_ack(seg)
         if seg.data_len > 0:
             self._process_data(seg)
-        if seg.has(FIN):
+        if flags & FIN:
             self._process_fin(seg)
         self._try_send()
 
@@ -318,13 +319,12 @@ class TCPConnection:
             self._on_new_ack(seg, ack)
         elif (
             ack == self.snd_una
-            and self._flight_size() > 0
+            and self.snd_nxt > self.snd_una  # flight size > 0
             and seg.data_len == 0
             # the classic BSD test: window updates are not dupacks (the
             # no-shrink right-edge rule keeps real dupack windows equal)
             and seg.window == prev_wnd
-            and not seg.has(SYN)
-            and not seg.has(FIN)
+            and not seg.flags & (SYN | FIN)
         ):
             self._on_dupack()
 
@@ -332,12 +332,13 @@ class TCPConnection:
         acked = ack - self.snd_una
         self.snd_una = ack
         freed = self.send_buffer.release_below(min(ack, self.send_buffer.tail_seq))
-        self._sacked = [(s, e) for s, e in self._sacked if e > ack]
+        if self._sacked:  # loss-free steady state: nothing to trim
+            self._sacked = [(s, e) for s, e in self._sacked if e > ack]
         self._dupacks = 0
 
         # RTT sample (Karn: only if the timed range was never retransmitted)
         if self._rtt_seq is not None and ack >= self._rtt_seq:
-            self.rto.observe(self.kernel.now - self._rtt_sent_at)
+            self.rto.observe(self.kernel._now - self._rtt_sent_at)
             self._rtt_seq = None
         self.rto.reset_backoff()
 
@@ -487,13 +488,15 @@ class TCPConnection:
     def _try_send(self) -> None:
         if self.state not in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT_1, LAST_ACK, CLOSING):
             return
+        send_buffer = self.send_buffer
         while True:
-            avail = self.send_buffer.bytes_after(self.snd_nxt)
+            avail = send_buffer._tail_seq - self.snd_nxt  # == bytes_after()
             if avail <= 0:
                 break
-            usable = self._usable_window()
+            # usable window, _usable_window()/_flight_size() inlined
+            usable = min(self.cc.cwnd, self.snd_wnd) - (self.snd_nxt - self.snd_una)
             if usable <= 0:
-                if self.snd_wnd == 0 and self._flight_size() == 0:
+                if self.snd_wnd == 0 and self.snd_nxt == self.snd_una:
                     self._arm_persist()
                 break
             seg_len = min(self.config.mss, avail, usable)
@@ -529,7 +532,7 @@ class TCPConnection:
             self.stats.bytes_sent += length
             if self._rtt_seq is None:
                 self._rtt_seq = seq + length
-                self._rtt_sent_at = self.kernel.now
+                self._rtt_sent_at = self.kernel._now
         self._transmit(seg)
         self._ack_sent()
 
@@ -565,13 +568,15 @@ class TCPConnection:
         duplicate ACKs they trigger — which is what lets the classic BSD
         "window unchanged" duplicate-ACK test work during loss recovery.
         """
-        if self.reassembly is None:
+        reassembly = self.reassembly
+        if reassembly is None:
             return self.config.rcvbuf
-        used = self._ready.nbytes + self.reassembly.out_of_order_bytes
-        window = max(0, self.config.rcvbuf - used)
-        right_edge = self.reassembly.rcv_nxt + window
+        window = self.config.rcvbuf - self._ready.nbytes - reassembly.out_of_order_bytes
+        if window < 0:
+            window = 0
+        right_edge = reassembly.rcv_nxt + window
         if right_edge < self._rcv_adv:
-            window = self._rcv_adv - self.reassembly.rcv_nxt
+            window = self._rcv_adv - reassembly.rcv_nxt
         else:
             self._rcv_adv = right_edge
         return window

@@ -21,7 +21,7 @@ ACK = 0x10
 SackBlock = Tuple[int, int]  # [start, end) sequence range
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPSegment:
     """One TCP segment; ``data`` is a ChunkList of payload blobs."""
 

@@ -76,9 +76,10 @@ class TCPSocket:
 
     def recv(self, nbytes: int) -> Optional[ChunkList]:
         """Read up to ``nbytes``; None = would block; empty ChunkList = EOF."""
-        if self.conn.app_readable_bytes() > 0:
-            return self.conn.app_read(nbytes)
-        if self.conn.eof_pending or self.closed_error is not None:
+        conn = self.conn
+        if conn._ready.nbytes > 0:  # == app_readable_bytes(), sans the call
+            return conn.app_read(nbytes)
+        if conn.eof_pending or self.closed_error is not None:
             return ChunkList()
         return None
 
@@ -94,9 +95,10 @@ class TCPSocket:
     @property
     def readable(self) -> bool:
         """Data buffered, EOF reached, or connection dead."""
+        conn = self.conn
         return (
-            self.conn.app_readable_bytes() > 0
-            or self.conn.eof_pending
+            conn._ready.nbytes > 0  # == app_readable_bytes(), sans the call
+            or conn.eof_pending
             or self.closed_error is not None
         )
 
@@ -114,6 +116,8 @@ class TCPSocket:
         self._watchers.discard(selector)
 
     def _notify_watchers(self) -> None:
+        if not self._watchers:  # common: nobody is selecting on this socket
+            return
         for watcher in list(self._watchers):
             watcher._socket_event()
 
@@ -175,8 +179,8 @@ class Selector:
     def __init__(self, host) -> None:
         self.host = host
         self._pending: Optional[Future] = None
-        self._read_set: Dict[TCPSocket, None] = {}
-        self._write_set: Dict[TCPSocket, None] = {}
+        self._read_set: List[TCPSocket] = []
+        self._write_set: List[TCPSocket] = []
         self.calls = 0
 
     def wait(
@@ -187,17 +191,33 @@ class Selector:
         """Future of (readable_list, writable_list); charges select() cost."""
         if self._pending is not None and not self._pending.done():
             raise RuntimeError("selector already waiting")
-        self._read_set = dict.fromkeys(read_sockets)
-        self._write_set = dict.fromkeys(write_sockets)
-        nsockets = len(self._read_set) + len(self._write_set)
+        # per-select hot path: the watch sets are rebuilt on every wait
+        # (copied — the caller's socket list can mutate while we watch);
+        # callers never pass duplicates, so plain lists suffice
+        read_set = list(read_sockets)
+        write_set = list(write_sockets)
+        self._read_set = read_set
+        self._write_set = write_set
         self.calls += 1
-        self.host.cpu.charge(self.host.cost_model.select_cost(nsockets))
+        cm = self.host.cost_model
+        self.host.cpu.charge(  # == select_cost(), sans the method call
+            cm.select_base_ns + cm.select_per_socket_ns * (len(read_set) + len(write_set))
+        )
 
         fut = Future(name="select")
+        # already-ready fast path: resolve before attaching watchers, so a
+        # select over a readable socket never pays attach/detach (the lists
+        # are built exactly as _socket_event would build them)
+        readable = [s for s in read_set if s.readable]
+        writable = [s for s in write_set if s.writable]
+        if readable or writable:
+            fut.set_result((readable, writable))
+            return fut
         self._pending = fut
-        for sock in list(self._read_set) + list(self._write_set):
+        for sock in read_set:
             sock._attach(self)
-        self._socket_event()  # maybe already ready
+        for sock in write_set:
+            sock._attach(self)
         return fut
 
     def cancel_wait(self) -> None:
@@ -206,10 +226,15 @@ class Selector:
         if fut is None:
             return
         self._pending = None
-        for sock in list(self._read_set) + list(self._write_set):
-            sock._detach(self)
+        self._detach_all()
         if not fut.done():
             fut.set_result(([], []))
+
+    def _detach_all(self) -> None:
+        for sock in self._read_set:
+            sock._detach(self)
+        for sock in self._write_set:
+            sock._detach(self)
 
     def _socket_event(self) -> None:
         fut = self._pending
@@ -220,6 +245,5 @@ class Selector:
         if not readable and not writable:
             return
         self._pending = None
-        for sock in list(self._read_set) + list(self._write_set):
-            sock._detach(self)
+        self._detach_all()
         fut.set_result((readable, writable))

@@ -18,7 +18,14 @@ from typing import Iterable, List, Union
 
 
 class Blob:
-    """Abstract sized payload piece."""
+    """Abstract sized payload piece.
+
+    ``__slots__ = ()`` here is load-bearing: without it every RealBlob /
+    SyntheticBlob instance would still carry a ``__dict__`` despite their
+    own slots, and blobs are among the highest-churn objects in a run.
+    """
+
+    __slots__ = ()
 
     nbytes: int
 
@@ -104,8 +111,15 @@ class ChunkList:
     __slots__ = ("pieces", "nbytes")
 
     def __init__(self, pieces: Iterable[Blob] = ()) -> None:
-        self.pieces: List[Blob] = [p for p in pieces if p.nbytes > 0]
-        self.nbytes = sum(p.nbytes for p in self.pieces)
+        kept: List[Blob] = []
+        total = 0
+        for piece in pieces:
+            n = piece.nbytes
+            if n > 0:
+                kept.append(piece)
+                total += n
+        self.pieces = kept
+        self.nbytes = total
 
     def __len__(self) -> int:
         return self.nbytes
@@ -119,34 +133,77 @@ class ChunkList:
 
     def extend(self, other: "ChunkList") -> None:
         """Concatenate another chunk list."""
-        for piece in other.pieces:
-            self.append(piece)
+        # a ChunkList never stores zero-length pieces, so no per-piece
+        # filtering (and no per-piece method call) is needed here
+        self.pieces.extend(other.pieces)
+        self.nbytes += other.nbytes
 
     def slice(self, start: int, end: int) -> "ChunkList":
         """Byte range [start, end) as a new chunk list."""
         _check_range(start, end, self.nbytes)
-        out = ChunkList()
+        if start == 0 and end == self.nbytes:
+            # whole-run fast path (split() at a boundary, full re-sends):
+            # share the immutable blobs, copy only the list
+            out = ChunkList.__new__(ChunkList)
+            out.pieces = self.pieces.copy()
+            out.nbytes = self.nbytes
+            return out
+        kept: List[Blob] = []
+        total = 0
         pos = 0
         for piece in self.pieces:
-            piece_end = pos + piece.nbytes
+            n = piece.nbytes
+            piece_end = pos + n
             if piece_end <= start:
                 pos = piece_end
                 continue
             if pos >= end:
                 break
-            lo = max(start, pos) - pos
-            hi = min(end, piece_end) - pos
-            out.append(piece.slice(lo, hi))
+            if start <= pos and piece_end <= end:
+                # piece fully inside the range: blobs are immutable, share it
+                kept.append(piece)
+                total += n
+            else:
+                lo = start - pos if start > pos else 0
+                hi = (end if end < piece_end else piece_end) - pos
+                kept.append(piece.slice(lo, hi))
+                total += hi - lo
             pos = piece_end
+        out = ChunkList.__new__(ChunkList)
+        out.pieces = kept
+        out.nbytes = total
         return out
+
+    def piece_at(self, offset: int) -> Blob:
+        """The (tail of the) piece containing byte ``offset``.
+
+        Equivalent to ``self.slice(offset, self.nbytes).pieces[0]`` —
+        what a streaming writer feeds a socket next — without building
+        the whole remainder as a new chunk list.
+        """
+        pos = 0
+        for piece in self.pieces:
+            nxt = pos + piece.nbytes
+            if offset < nxt:
+                return piece if offset == pos else piece.slice(offset - pos, piece.nbytes)
+            pos = nxt
+        raise ValueError(f"offset {offset} beyond {self.nbytes}-byte payload")
 
     def split(self, at: int) -> tuple["ChunkList", "ChunkList"]:
         """Split into (first ``at`` bytes, remainder)."""
-        return self.slice(0, at), self.slice(at, self.nbytes)
+        nbytes = self.nbytes
+        if at == nbytes:
+            # take-everything fast path (app reads, exact-framing feeds):
+            # the remainder is empty, so skip the general slice scan
+            return self.slice(0, nbytes), ChunkList()
+        return self.slice(0, at), self.slice(at, nbytes)
 
     def to_bytes(self) -> bytes:
         """Materialise the whole run (synthetic pieces read as zeros)."""
-        return b"".join(p.to_bytes() for p in self.pieces)
+        pieces = self.pieces
+        if len(pieces) == 1:  # e.g. a framed envelope: no join needed
+            return pieces[0].to_bytes()
+        return b"".join(p.to_bytes() for p in pieces)
 
     @property
     def is_real(self) -> bool:

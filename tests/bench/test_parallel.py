@@ -1,0 +1,47 @@
+"""Parallel bench fan-out: cell decomposition and serial/parallel parity.
+
+The CI gate diffs full serial vs ``--jobs 4`` metrics documents byte for
+byte; these tests cover the same contract at unit scale so a parity
+break is caught in seconds, not at the end of a matrix run.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import harness, multihoming_failover
+from repro.bench.parallel import run_experiments
+
+
+def test_experiment_cells_are_stable_and_ordered():
+    first = harness.experiment_cells("fig8")
+    second = harness.experiment_cells("fig8")
+    assert first and first == second
+    assert all(isinstance(key, str) for key in first)
+    assert len(set(first)) == len(first)
+
+
+def test_unknown_experiment_and_cell_raise():
+    with pytest.raises(KeyError):
+        harness.experiment_cells("nope")
+    with pytest.raises(KeyError):
+        harness.run_experiment_cell("nope", "1")
+    with pytest.raises(KeyError):
+        harness.run_experiment_cell("fig8", "no-such-cell")
+
+
+def test_cell_union_matches_full_experiment():
+    """Running an experiment cell-by-cell reproduces the monolithic run."""
+    merged = run_experiments(["failover"], jobs=1)
+    direct = [row.to_jsonable() for row in multihoming_failover()]
+    assert merged["failover"]["rows"] == direct
+
+
+def test_parallel_matches_serial_including_metrics():
+    """jobs=2 fan-out merges to the exact serial document (cell order,
+    rows, and metrics snapshots)."""
+    serial = run_experiments(["fig8"], jobs=1, with_metrics=True)
+    parallel = run_experiments(["fig8"], jobs=2, with_metrics=True)
+    assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
+    assert serial["fig8"]["rows"]  # non-vacuous
+    assert serial["fig8"]["runs"]

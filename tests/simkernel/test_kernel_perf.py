@@ -1,0 +1,241 @@
+"""Hot-path accounting: O(1) pending_events, heap compaction, run edges.
+
+These are the regression tests for the fast-path work: live-timer
+accounting must stay a maintained counter (not a heap scan), lazy
+deletion must compact once cancelled entries dominate a large heap, and
+compaction must never change event order.
+"""
+
+import pytest
+
+from repro.simkernel import Future, Kernel
+from repro.simkernel.kernel import DeadlockError
+
+
+def _noop() -> None:
+    return None
+
+
+# -- O(1) live-event accounting ---------------------------------------------
+def test_pending_events_after_10k_cancellations():
+    """10k cancelled retransmission-style timers: the live counter is
+    maintained, and the dead entries do not linger in the heap."""
+    k = Kernel()
+    keep = [k.call_after(50_000 + i, _noop) for i in range(3)]
+    churn = [k.call_after(1_000 + i, _noop) for i in range(10_000)]
+    assert k.pending_events() == 10_003
+    for timer in churn:
+        timer.cancel()
+    # counter is exact immediately, without running the kernel
+    assert k.pending_events() == len(keep)
+    # a heap that was >50% cancelled and >=1024 entries must have been
+    # compacted, so the 10k dead entries are gone, not just flagged
+    assert k.heap_compactions >= 1
+    assert len(k._heap) < 1024
+    assert k._cancelled_in_heap < 1024
+    assert k.run() == len(keep)
+    assert k.pending_events() == 0
+
+
+def test_pending_events_counter_tracks_fire_and_cancel():
+    k = Kernel()
+    t = k.call_after(10, _noop)
+    k.post_after(20, _noop)
+    assert k.pending_events() == 2
+    k.run(until=10)
+    assert k.pending_events() == 1
+    t.cancel()  # already fired: must not decrement again
+    assert k.pending_events() == 1
+    k.run()
+    assert k.pending_events() == 0
+
+
+def test_double_cancel_accounts_once():
+    k = Kernel()
+    t = k.call_after(10, _noop)
+    k.call_after(20, _noop)
+    t.cancel()
+    t.cancel()
+    assert k.pending_events() == 1
+    assert k.run() == 1
+
+
+# -- lazy-deletion compaction -----------------------------------------------
+def test_compaction_needs_min_heap_size():
+    """Below COMPACT_MIN_HEAP entries, cancellation stays lazy."""
+    k = Kernel()
+    timers = [k.call_after(1 + i, _noop) for i in range(Kernel.COMPACT_MIN_HEAP - 1)]
+    for t in timers:
+        t.cancel()
+    assert k.heap_compactions == 0
+    assert k._cancelled_in_heap == len(timers)
+    # crossing the size threshold with a majority cancelled compacts
+    extra = k.call_after(10_000, _noop)
+    extra.cancel()
+    assert k.heap_compactions == 1
+    assert k._cancelled_in_heap == 0
+    assert len(k._heap) == 0
+
+
+def test_compaction_needs_cancelled_majority():
+    """Exactly half cancelled is not enough; one more tips it."""
+    k = Kernel()
+    n = 2 * Kernel.COMPACT_MIN_HEAP
+    timers = [k.call_after(1 + i, _noop) for i in range(n)]
+    for t in timers[: n // 2]:
+        t.cancel()
+    assert k.heap_compactions == 0
+    timers[n // 2].cancel()
+    assert k.heap_compactions == 1
+    assert k._cancelled_in_heap == 0
+    assert len(k._heap) == n // 2 - 1
+    assert k.pending_events() == n // 2 - 1
+
+
+def test_compaction_preserves_fire_order():
+    """An aggressively-compacting kernel fires the survivors in exactly
+    the order a never-compacting kernel does (keys are unique)."""
+
+    def program(k: Kernel, record):
+        timers = {}
+        for i in range(512):
+            # interleave cancellable and surviving timers at clashing times
+            timers[i] = k.call_after(1 + (i % 17), record, ("t", i))
+            if i % 4 == 0:  # some fire-and-forget entries, not so many
+                k.post_after(1 + (i % 17), record, ("p", i))  # that cancelled
+                # timers can never reach a majority of the heap
+        for i in range(512):
+            if i % 4 != 3:  # cancel a clear majority of the heap
+                timers[i].cancel()
+        k.run()
+
+    eager = Kernel()
+    eager.COMPACT_MIN_HEAP = 4  # per-instance: compact almost every cancel
+    lazy = Kernel()
+    lazy.COMPACT_MIN_HEAP = 1 << 30  # never compact
+
+    fired_eager, fired_lazy = [], []
+    program(eager, fired_eager.append)
+    program(lazy, fired_lazy.append)
+    assert eager.heap_compactions > 0
+    assert lazy.heap_compactions == 0
+    assert fired_eager == fired_lazy
+
+
+def test_compaction_during_run_keeps_heap_reference_valid():
+    """run() holds the heap list; in-place compaction must stay visible."""
+    k = Kernel()
+    k.COMPACT_MIN_HEAP = 8
+    fired = []
+    victims = [k.call_after(100 + i, fired.append, ("no", i)) for i in range(64)]
+    k.call_after(200, fired.append, "survivor")
+
+    def cancel_all():
+        for t in victims:
+            t.cancel()
+
+    k.call_after(1, cancel_all)  # compaction happens mid-run
+    k.run()
+    assert fired == ["survivor"]
+    assert k.heap_compactions >= 1
+
+
+# -- run(until=...) edge cases ----------------------------------------------
+def test_run_until_fires_event_exactly_at_limit():
+    k = Kernel()
+    fired = []
+    k.call_after(100, fired.append, 1)
+    assert k.run(until=100) == 1
+    assert fired == [1] and k.now == 100
+
+
+def test_run_until_advances_clock_on_empty_heap():
+    k = Kernel()
+    assert k.run(until=500) == 0
+    assert k.now == 500
+    # a second run with an earlier until must not move the clock back
+    assert k.run(until=200) == 0
+    assert k.now == 500
+
+
+def test_run_until_with_max_events_interaction():
+    k = Kernel()
+    fired = []
+    for i in range(5):
+        k.call_after(i + 1, fired.append, i)
+    assert k.run(until=3, max_events=2) == 2
+    assert fired == [0, 1] and k.now == 2  # stopped by max_events first
+    assert k.run(until=3) == 1
+    assert fired == [0, 1, 2] and k.now == 3
+    assert k.run() == 2
+
+
+def test_run_until_skips_cancelled_without_counting():
+    k = Kernel()
+    fired = []
+    t = k.call_after(10, fired.append, "no")
+    k.call_after(20, fired.append, "yes")
+    t.cancel()
+    assert k.run(until=50) == 1  # the cancelled pop is not an event
+    assert fired == ["yes"] and k.now == 50
+
+
+# -- run_until(limit=...) edge cases ----------------------------------------
+def test_run_until_limit_event_exactly_at_limit_completes():
+    k = Kernel()
+    fut = Future()
+    k.call_after(100, fut.set_result, "done")
+    assert k.run_until(fut, limit=100) == "done"
+    assert k.now == 100
+
+
+def test_run_until_limit_timeout_leaves_event_pending():
+    k = Kernel()
+    fut = Future()
+    k.call_after(200, fut.set_result, "late")
+    with pytest.raises(TimeoutError):
+        k.run_until(fut, limit=100)
+    assert k.now <= 100
+    # the blocked event was not consumed: a later unlimited run fires it
+    assert k.run() == 1
+    assert fut.result() == "late"
+
+
+def test_run_until_deadlock_reports_current_time():
+    k = Kernel()
+    k.call_after(10, _noop)
+    fut = Future()
+    with pytest.raises(DeadlockError, match="t=10ns"):
+        k.run_until(fut)
+
+
+def test_run_until_counts_into_events_processed():
+    k = Kernel()
+    fut = Future()
+    k.call_after(1, _noop)
+    k.call_after(2, fut.set_result, None)
+    k.run_until(fut)
+    assert k.events_processed == 2
+
+
+# -- fire-and-forget scheduling edges ---------------------------------------
+def test_post_at_rejects_past_and_post_after_rejects_negative():
+    k = Kernel()
+    k.call_after(10, _noop)
+    k.run()
+    with pytest.raises(ValueError):
+        k.post_at(5, _noop)
+    with pytest.raises(ValueError):
+        k.post_after(-1, _noop)
+
+
+def test_post_and_call_share_one_ordering():
+    """post_* and call_* interleave FIFO at equal timestamps."""
+    k = Kernel()
+    order = []
+    k.call_at(50, order.append, "timer-0")
+    k.post_at(50, order.append, "post-1")
+    k.call_at(50, order.append, "timer-2")
+    k.post_at(50, order.append, "post-3")
+    k.run()
+    assert order == ["timer-0", "post-1", "timer-2", "post-3"]
