@@ -1,0 +1,52 @@
+"""Correctness tooling for the reproduction: lint, sanitizers, perturbation.
+
+Three instruments, one goal — making the simulator's determinism and
+protocol conformance *checkable* instead of assumed:
+
+* :mod:`repro.analyze.lint` — static AST pass flagging nondeterminism
+  hazards (wall clocks, global randomness, set iteration, ``id()``
+  ordering, kernel-internal pokes);
+* :mod:`repro.analyze.sanitize` — opt-in runtime invariant checkers for
+  the kernel, both transports, and both RPIs (``REPRO_SANITIZE=1``);
+* :mod:`repro.analyze.perturb` — schedule-perturbation race detector
+  that re-runs scenarios under reversed/shuffled same-time tie-breaking.
+
+CLI: ``python -m repro.analyze {lint,perturb} ...`` (also installed as
+the ``repro-analyze`` console script).
+"""
+
+from .lint import Finding, lint_paths, lint_source
+from .perturb import (
+    TIEBREAK_FIFO,
+    TIEBREAK_LIFO,
+    PerturbResult,
+    perturb_cell,
+    perturb_run,
+    shuffle_mask,
+    tiebreak,
+)
+from .sanitize import (
+    InvariantViolation,
+    enable_sanitizers,
+    reset_sanitizers,
+    sanitized,
+    sanitizers_enabled,
+)
+
+__all__ = [
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "InvariantViolation",
+    "enable_sanitizers",
+    "reset_sanitizers",
+    "sanitized",
+    "sanitizers_enabled",
+    "TIEBREAK_FIFO",
+    "TIEBREAK_LIFO",
+    "PerturbResult",
+    "perturb_cell",
+    "perturb_run",
+    "shuffle_mask",
+    "tiebreak",
+]

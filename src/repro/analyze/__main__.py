@@ -1,0 +1,50 @@
+"""CLI for the analysis toolbox: ``python -m repro.analyze`` / ``repro-analyze``.
+
+Subcommands
+===========
+
+``lint [paths...] [--json FILE] [--list-rules]``
+    Determinism lint over the given files/directories (default
+    ``src/repro``).  Exits 1 on any unsuppressed finding.
+
+``perturb EXPERIMENT:CELL [--modes lifo,shuffle:7] [--json FILE]``
+    Schedule-perturbation race detector on one bench cell.  Exits 1 when
+    any perturbed tie-break produces a different metrics digest than the
+    production FIFO order.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from . import lint, perturb
+
+_USAGE = """\
+usage: repro-analyze {lint,perturb} ...
+
+subcommands:
+  lint     determinism lint over simulator sources (AN101-AN105)
+  perturb  schedule-perturbation race detector on a bench cell
+
+run `repro-analyze <subcommand> --help` for details.
+"""
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch to a subcommand; returns the process exit code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        sys.stdout.write(_USAGE)
+        return 0
+    command, rest = args[0], args[1:]
+    if command == "lint":
+        return lint.main(rest)
+    if command == "perturb":
+        return perturb.main(rest)
+    sys.stderr.write(f"repro-analyze: unknown subcommand {command!r}\n\n{_USAGE}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

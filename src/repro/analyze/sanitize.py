@@ -1,0 +1,510 @@
+"""Protocol-invariant sanitizers: opt-in runtime checkers for the stacks.
+
+The simulator's credibility rests on invariants the paper and the RFCs
+state but ordinary tests only sample: the kernel clock never runs
+backwards, a TCP cumulative ACK never retreats, SCTP never retransmits a
+chunk the peer already gap-acked (RFC 4960 §6.3.3 rules E3/E4), and the
+SCTP RPI never interleaves two messages on one (association, stream)
+(paper §3.4.2, Option B).  This module makes those invariants executable.
+
+The design copies the zero-cost-when-disabled pattern of
+:mod:`repro.metrics`: each instrumented object asks a factory here for a
+sanitizer and stores the result — ``None`` when sanitizers are off, so
+the hot path pays exactly one ``if self._san is not None`` check.  With
+``REPRO_SANITIZE=1`` (or :func:`enable_sanitizers`), the factories return
+live checker objects and any violated invariant raises
+:class:`InvariantViolation` at the first moment the corruption is
+observable, instead of surfacing as a wrong Figure-8 number three layers
+later.
+
+Sanitizers never schedule events, never draw randomness, and never
+mutate the objects they watch, so enabling them cannot change a
+simulation's virtual-time behaviour — a property pinned by test.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+_FORCED: Optional[bool] = None  # programmatic override; None defers to env
+
+
+class InvariantViolation(AssertionError):
+    """A protocol or kernel invariant was broken (sanitizers enabled).
+
+    Subclasses ``AssertionError`` deliberately: a tripped sanitizer means
+    the *simulator* is wrong, not the simulated workload, and should fail
+    tests the same way a broken assert would.
+    """
+
+    def __init__(self, layer: str, invariant: str, detail: str) -> None:
+        super().__init__(f"[{layer}] {invariant}: {detail}")
+        self.layer = layer
+        self.invariant = invariant
+        self.detail = detail
+
+
+def sanitizers_enabled() -> bool:
+    """True when sanitizers are on (REPRO_SANITIZE=1 or forced in-process)."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def enable_sanitizers(on: bool = True) -> None:
+    """Force sanitizers on (or off) for this process, overriding the env.
+
+    Only objects constructed *after* the call are instrumented: the
+    factories are consulted once, at construction time, exactly like
+    metrics enablement.
+    """
+    global _FORCED
+    _FORCED = on
+
+
+def reset_sanitizers() -> None:
+    """Drop any programmatic override; the environment decides again."""
+    global _FORCED
+    _FORCED = None
+
+
+class sanitized:
+    """Context manager scoping :func:`enable_sanitizers` (mainly for tests)."""
+
+    def __init__(self, on: bool = True) -> None:
+        self._on = on
+        self._prev: Optional[bool] = None
+
+    def __enter__(self) -> "sanitized":
+        global _FORCED
+        self._prev = _FORCED
+        _FORCED = self._on
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        global _FORCED
+        _FORCED = self._prev
+
+
+def _fail(layer: str, invariant: str, detail: str) -> None:
+    raise InvariantViolation(layer, invariant, detail)
+
+
+# ---------------------------------------------------------------------------
+# kernel: virtual-time monotonicity + timer-heap integrity
+# ---------------------------------------------------------------------------
+
+
+class KernelSanitizer:
+    """Checks the event loop itself.
+
+    * virtual time is monotone: no event fires at ``when < now``;
+    * the heap satisfies the heap property over ``(when, seq)`` keys;
+    * the O(1) ``pending_events`` / ``cancelled_in_heap`` counters agree
+      with an actual scan of the heap.
+
+    The full heap audit is O(n), so it runs every ``AUDIT_EVERY`` fired
+    events rather than per event; the monotonicity check is per event.
+    """
+
+    AUDIT_EVERY = 4096
+
+    __slots__ = ("kernel", "_fires")
+
+    def __init__(self, kernel: Any) -> None:
+        self.kernel = kernel
+        self._fires = 0
+
+    def on_fire(self, when: int) -> None:
+        """Called by the run loops with each event's timestamp, pre-advance."""
+        kernel = self.kernel
+        if when < kernel._now:
+            _fail(
+                "kernel",
+                "virtual-time monotonicity",
+                f"event scheduled at t={when}ns fired while now={kernel._now}ns",
+            )
+        self._fires += 1
+        if self._fires % self.AUDIT_EVERY == 0:
+            self.audit()
+
+    def audit(self) -> None:
+        """Full O(n) heap scan: structure and counter agreement."""
+        kernel = self.kernel
+        heap = kernel._heap  # repro: allow[AN105] — read-only audit scan
+        for i in range(1, len(heap)):
+            parent = (i - 1) >> 1
+            if heap[parent][:2] > heap[i][:2]:
+                _fail(
+                    "kernel",
+                    "timer-heap integrity",
+                    f"heap property violated at index {i}: parent key "
+                    f"{heap[parent][:2]} > child key {heap[i][:2]}",
+                )
+        live = 0
+        cancelled = 0
+        for entry in heap:
+            obj = entry[2]
+            if getattr(obj, "cancelled", False):
+                cancelled += 1
+            else:
+                live += 1
+        if live != kernel._live_events:
+            _fail(
+                "kernel",
+                "pending-events accounting",
+                f"counter says {kernel._live_events} live events but the heap "
+                f"holds {live}",
+            )
+        if cancelled != kernel._cancelled_in_heap:
+            _fail(
+                "kernel",
+                "cancelled-in-heap accounting",
+                f"counter says {kernel._cancelled_in_heap} lazily-deleted "
+                f"entries but the heap holds {cancelled}",
+            )
+
+
+# ---------------------------------------------------------------------------
+# TCP: cumulative-ACK monotone, cwnd/ssthresh bounds, send-window accounting
+# ---------------------------------------------------------------------------
+
+
+class TCPConnectionSanitizer:
+    """Checks one :class:`repro.transport.tcp.connection.TCPConnection`.
+
+    * ``snd_una`` (cumulative ACK point) never retreats (RFC 793 §3.9:
+      segments with ``SEG.ACK < SND.UNA`` are stale and ignored);
+    * ``snd_una <= snd_nxt`` and nothing past the send buffer's tail is
+      ever acknowledged (acking unsent data means sequence corruption);
+    * NewReno bounds: ``cwnd >= 1 MSS`` always, ``ssthresh >= 2 MSS``
+      once a loss has set it (RFC 5681 equations (4) and §3.1);
+    * the receiver's ``rcv_nxt`` never retreats, and at most one FIN is
+      counted into it (a retransmitted FIN must not re-advance it).
+    """
+
+    __slots__ = ("_max_una", "_max_rcv_nxt", "_fin_counted")
+
+    def __init__(self) -> None:
+        self._max_una = -1
+        self._max_rcv_nxt = -1
+        self._fin_counted = False
+
+    def on_ack_processed(self, conn: Any) -> None:
+        """End of the sender-side ACK path: windows and cc state are settled."""
+        una = conn.snd_una
+        if una < self._max_una:
+            _fail(
+                "tcp",
+                "cumulative-ACK monotone",
+                f"snd_una retreated from {self._max_una} to {una} on "
+                f"{conn.local_addr}:{conn.local_port}->"
+                f"{conn.remote_addr}:{conn.remote_port}",
+            )
+        self._max_una = una
+        if una > conn.snd_nxt:
+            _fail(
+                "tcp",
+                "send-window accounting",
+                f"snd_una={una} passed snd_nxt={conn.snd_nxt}: peer acked "
+                "data never sent",
+            )
+        buf = conn.send_buffer
+        if buf is not None:
+            # +1: the FIN occupies one sequence number past the last byte
+            limit = buf.tail_seq + (1 if conn._fin_seq is not None else 0)
+            if conn.snd_nxt > limit:
+                _fail(
+                    "tcp",
+                    "send-window accounting",
+                    f"snd_nxt={conn.snd_nxt} passed buffered data end {limit}",
+                )
+        cc = conn.cc
+        if cc.cwnd < cc.mss:
+            _fail(
+                "tcp",
+                "cwnd lower bound",
+                f"cwnd={cc.cwnd} fell below one MSS ({cc.mss})",
+            )
+        if (cc.fast_retransmits or cc.timeouts) and cc.ssthresh < 2 * cc.mss:
+            _fail(
+                "tcp",
+                "ssthresh lower bound",
+                f"ssthresh={cc.ssthresh} below 2*MSS after a loss event "
+                "(RFC 5681 eq. 4)",
+            )
+
+    def on_delivery(self, conn: Any) -> None:
+        """Receive path: in-order point only ever advances."""
+        reassembly = conn.reassembly
+        if reassembly is None:
+            return
+        rcv_nxt = reassembly.rcv_nxt
+        if rcv_nxt < self._max_rcv_nxt:
+            _fail(
+                "tcp",
+                "rcv_nxt monotone",
+                f"receive in-order point retreated from {self._max_rcv_nxt} "
+                f"to {rcv_nxt}",
+            )
+        self._max_rcv_nxt = rcv_nxt
+
+    def on_fin_accepted(self, conn: Any) -> None:
+        """A FIN was consumed into rcv_nxt; doing so twice corrupts ACKs."""
+        if self._fin_counted:
+            _fail(
+                "tcp",
+                "single-FIN accounting",
+                f"FIN consumed into rcv_nxt twice on "
+                f"{conn.local_addr}:{conn.local_port}<-"
+                f"{conn.remote_addr}:{conn.remote_port} "
+                "(a retransmitted FIN must be re-ACKed, not re-counted)",
+            )
+        self._fin_counted = True
+
+
+# ---------------------------------------------------------------------------
+# SCTP: TSN monotone, outstanding accounting, E3/E4 retransmission guard
+# ---------------------------------------------------------------------------
+
+
+class AssociationSanitizer:
+    """Checks one :class:`repro.transport.sctp.association.Association`.
+
+    * ``cum_tsn_acked`` and the receiver's ``rcv_cum_tsn`` are monotone
+      (RFC 4960 §6.3.3: an old SACK "MUST be discarded");
+    * every in-flight TSN is > the cumulative ACK point and the
+      ``outstanding`` map iterates in TSN order (insertion order == TSN
+      order is what the T3 and fast-retransmit scans rely on);
+    * ``outstanding_bytes`` — total and per path — equals a real sum over
+      the in-flight records (the fast paths maintain these incrementally);
+    * rules E3/E4: a chunk the peer reported as gap-acked is never handed
+      back to the wire by fast retransmit or T3 bundling.
+    """
+
+    __slots__ = ("_max_cum_acked", "_max_rcv_cum")
+
+    def __init__(self) -> None:
+        self._max_cum_acked = -1
+        self._max_rcv_cum = -1
+
+    def on_sack_processed(self, assoc: Any) -> None:
+        """End of the SACK path: full outstanding-map audit."""
+        cum = assoc.cum_tsn_acked
+        if cum < self._max_cum_acked:
+            _fail(
+                "sctp",
+                "cumulative-TSN monotone",
+                f"cum_tsn_acked retreated from {self._max_cum_acked} to {cum}",
+            )
+        self._max_cum_acked = cum
+        total = 0
+        by_path: Dict[str, int] = {}
+        prev_tsn = cum
+        for tsn, record in assoc.outstanding.items():
+            if tsn <= prev_tsn:
+                _fail(
+                    "sctp",
+                    "outstanding TSN order",
+                    f"TSN {tsn} out of order (follows {prev_tsn}, "
+                    f"cum={cum}): retransmission scans would misfire",
+                )
+            prev_tsn = tsn
+            if not record.gap_acked:
+                size = record.chunk.payload.nbytes
+                total += size
+                by_path[record.path_addr] = by_path.get(record.path_addr, 0) + size
+        if total != assoc.outstanding_bytes:
+            _fail(
+                "sctp",
+                "outstanding-bytes accounting",
+                f"counter says {assoc.outstanding_bytes} bytes in flight but "
+                f"records sum to {total}",
+            )
+        for addr, path in assoc.paths.items():
+            expected = by_path.get(addr, 0)
+            if path.outstanding_bytes != expected:
+                _fail(
+                    "sctp",
+                    "per-path outstanding accounting",
+                    f"path {addr} counter says {path.outstanding_bytes} but "
+                    f"records sum to {expected}",
+                )
+            if path.cwnd < path.mtu_payload:
+                _fail(
+                    "sctp",
+                    "cwnd lower bound",
+                    f"path {addr} cwnd={path.cwnd} below one PMTU "
+                    f"({path.mtu_payload}) (RFC 4960 §7.2.3 floor)",
+                )
+
+    def on_data_received(self, assoc: Any) -> None:
+        """Receive path: cumulative point monotone, gap set consistent."""
+        cum = assoc.rcv_cum_tsn
+        if cum < self._max_rcv_cum:
+            _fail(
+                "sctp",
+                "receiver cum-TSN monotone",
+                f"rcv_cum_tsn retreated from {self._max_rcv_cum} to {cum}",
+            )
+        self._max_rcv_cum = cum
+        for tsn in assoc._received_above_cum:
+            if tsn <= cum:
+                _fail(
+                    "sctp",
+                    "gap-set consistency",
+                    f"TSN {tsn} still in the above-cum set at cum={cum}",
+                )
+
+    def on_retransmit(self, records: Any, reason: str) -> None:
+        """RFC 4960 §6.3.3 rules E3/E4: gap-acked chunks stay off the wire."""
+        for record in records:
+            if record.gap_acked:
+                _fail(
+                    "sctp",
+                    "E3/E4 gap-ack guard",
+                    f"TSN {record.chunk.tsn} was gap-acked by the peer but "
+                    f"queued for {reason} retransmission",
+                )
+
+
+class StreamOrderSanitizer:
+    """Per-stream SSN in-order delivery (RFC 4960 §6.5).
+
+    Watches the messages :class:`InboundStreams` releases to the
+    application: within one stream, ordered messages must surface with
+    consecutive SSNs starting at 0.  Unordered messages are exempt.
+    """
+
+    __slots__ = ("_next_ssn",)
+
+    def __init__(self) -> None:
+        self._next_ssn: Dict[int, int] = {}
+
+    def on_deliver(self, messages: Any) -> None:
+        for message in messages:
+            if message.unordered:
+                continue
+            expected = self._next_ssn.get(message.sid, 0)
+            if message.ssn != expected:
+                _fail(
+                    "sctp",
+                    "per-stream SSN order",
+                    f"stream {message.sid} delivered SSN {message.ssn}, "
+                    f"expected {expected}",
+                )
+            self._next_ssn[message.sid] = expected + 1
+
+
+# ---------------------------------------------------------------------------
+# RPI: rendezvous state-machine legality + Option B non-interleaving
+# ---------------------------------------------------------------------------
+
+
+class RPISanitizer:
+    """Checks the MPI progression engine's rendezvous state machine.
+
+    Control units only make sense against a request in the matching
+    protocol state (paper §3.1 / LAM's RPI contract): a long-protocol ACK
+    must find its send in ``S_RNDV_WAIT_ACK``, a synchronous-send ACK in
+    ``S_SSEND_WAIT_ACK``, and body bytes must land on a receive that
+    posted (``S_RECV_BODY``).
+    """
+
+    __slots__ = ()
+
+    def expect_state(self, req: Any, expected: str, event: str) -> None:
+        if req.state != expected:
+            _fail(
+                "rpi",
+                "rendezvous state legality",
+                f"{event} arrived for request {req!r} in state {req.state}, "
+                f"expected {expected}",
+            )
+
+
+class OptionBSanitizer:
+    """Paper §3.4.2 Option B: one message at a time per (association, stream).
+
+    The SCTP RPI multiplexes messages over streams but must not start
+    message B on a stream while message A's pieces are still going out —
+    interleaving would corrupt framing at the receiver.  The sender's
+    transmit loop reports every piece here; starting a different unit
+    while one is unfinished trips the check.
+    """
+
+    __slots__ = ("_in_progress",)
+
+    def __init__(self) -> None:
+        self._in_progress: Dict[Tuple[int, int], Any] = {}
+
+    def on_piece_sent(self, key: Tuple[int, int], unit: Any, done: bool) -> None:
+        current = self._in_progress.get(key)
+        if current is not None and current is not unit:
+            _fail(
+                "rpi",
+                "Option B non-interleaving",
+                f"stream key {key} started a new message while another is "
+                "mid-flight (paper §3.4.2 forbids interleaving)",
+            )
+        if done:
+            self._in_progress.pop(key, None)
+        else:
+            self._in_progress[key] = unit
+
+
+# ---------------------------------------------------------------------------
+# factories: the only API instrumented code calls
+# ---------------------------------------------------------------------------
+
+
+def kernel_sanitizer(kernel: Any) -> Optional[KernelSanitizer]:
+    """Sanitizer for a Kernel, or None when disabled (the hot-path contract)."""
+    return KernelSanitizer(kernel) if sanitizers_enabled() else None
+
+
+def tcp_sanitizer() -> Optional[TCPConnectionSanitizer]:
+    """Sanitizer for one TCP connection, or None when disabled."""
+    return TCPConnectionSanitizer() if sanitizers_enabled() else None
+
+
+def sctp_sanitizer() -> Optional[AssociationSanitizer]:
+    """Sanitizer for one SCTP association, or None when disabled."""
+    return AssociationSanitizer() if sanitizers_enabled() else None
+
+
+def stream_sanitizer() -> Optional[StreamOrderSanitizer]:
+    """Sanitizer for one InboundStreams, or None when disabled."""
+    return StreamOrderSanitizer() if sanitizers_enabled() else None
+
+
+def rpi_sanitizer() -> Optional[RPISanitizer]:
+    """Sanitizer for one RPI's rendezvous machine, or None when disabled."""
+    return RPISanitizer() if sanitizers_enabled() else None
+
+
+def option_b_sanitizer() -> Optional[OptionBSanitizer]:
+    """Sanitizer for SCTP-RPI stream multiplexing, or None when disabled."""
+    return OptionBSanitizer() if sanitizers_enabled() else None
+
+
+__all__: List[str] = [
+    "InvariantViolation",
+    "sanitizers_enabled",
+    "enable_sanitizers",
+    "reset_sanitizers",
+    "sanitized",
+    "KernelSanitizer",
+    "TCPConnectionSanitizer",
+    "AssociationSanitizer",
+    "StreamOrderSanitizer",
+    "RPISanitizer",
+    "OptionBSanitizer",
+    "kernel_sanitizer",
+    "tcp_sanitizer",
+    "sctp_sanitizer",
+    "stream_sanitizer",
+    "rpi_sanitizer",
+    "option_b_sanitizer",
+]

@@ -79,7 +79,7 @@ def run_experiments(
     merged: Dict[str, Dict[str, List[Dict[str, Any]]]] = {
         name: {"rows": [], "runs": []} for name in names
     }
-    for (name, _key, _), (rows, runs) in zip(items, outputs):
+    for (name, _key, _), (rows, runs) in zip(items, outputs, strict=True):
         merged[name]["rows"].extend(rows)
         merged[name]["runs"].extend(runs)
     return merged

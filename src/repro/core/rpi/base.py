@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Callable, Dict, Optional, Tuple
 
+from ...analyze.sanitize import rpi_sanitizer
 from ...simkernel import AsyncEvent
 from ...util.blobs import ChunkList
 from ..constants import (
@@ -95,6 +96,8 @@ class BaseRPI:
         self._wake = AsyncEvent(name=f"rpi-wake-{self.rank}")
         # init-time control hook (world install: hello/barrier bookkeeping)
         self._control_sink: Optional[Callable[[int, Envelope], None]] = None
+        # rendezvous state-machine sanitizer; None unless REPRO_SANITIZE is on
+        self._san = rpi_sanitizer()
 
         # metrics: pull probes over the stats dataclass plus the matching
         # structures whose depth explains buffering behaviour (§2.2.2)
@@ -232,6 +235,8 @@ class BaseRPI:
             raise AssertionError(f"unexpected kind {kind:#x} in table")
 
     def _accept_rendezvous(self, req: RecvRequest, env: Envelope) -> None:
+        if self._san is not None:
+            self._san.expect_state(req, S_RECV_POSTED, "LONG_RNDV envelope")
         req.state = S_RECV_BODY
         req.expected_length = env.length
         req.body_flags = env.flags
@@ -282,10 +287,14 @@ class BaseRPI:
         elif kind == FLAG_LONG_ACK:
             req = self._sends_awaiting_ack.pop(env.seqnum, None)
             if req is not None:
+                if self._san is not None:
+                    self._san.expect_state(req, S_RNDV_WAIT_ACK, "LONG_ACK")
                 self._start_long_body(req)
         elif kind == FLAG_SSEND_ACK:
             req = self._sends_awaiting_ack.pop(env.seqnum, None)
             if req is not None:
+                if self._san is not None:
+                    self._san.expect_state(req, S_SSEND_WAIT_ACK, "SSEND_ACK")
                 req.complete()
         elif kind == FLAG_LONG_BODY:
             key = (env.rank, env.seqnum)
@@ -323,6 +332,8 @@ class BaseRPI:
     def _append_body(
         self, key: Tuple[int, int], req: RecvRequest, piece: ChunkList
     ) -> None:
+        if self._san is not None:
+            self._san.expect_state(req, S_RECV_BODY, "body piece")
         req.body.extend(piece)
         if req.body.nbytes > req.expected_length:
             raise RuntimeError(

@@ -31,6 +31,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ...analyze.sanitize import option_b_sanitizer
 from ...transport.sctp import OneToManySocket, SCTPConfig
 from ...util.blobs import ChunkList
 from ..constants import (
@@ -105,6 +106,8 @@ class SCTPRPI(BaseRPI):
         self._mw_base_ns = cm.sctp_syscall_ns
         self._mw_per_kib_ns = cm.sctp_middleware_per_kib_ns
         self.set_control_sink(self._handle_control)
+        # Option B non-interleaving sanitizer; None unless REPRO_SANITIZE on
+        self._san_b = option_b_sanitizer()
 
     # ------------------------------------------------------------------
     # stream mapping (§3.2.1)
@@ -230,6 +233,8 @@ class SCTPRPI(BaseRPI):
             unit.env_sent = True
             unit.body_offset = next_offset
             sent_any = True
+            if self._san_b is not None:
+                self._san_b.on_piece_sent((assoc_id, stream), unit, unit.done())
         return sent_any
 
     def _dispatch(self, msg) -> None:

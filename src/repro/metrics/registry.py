@@ -82,7 +82,7 @@ class Histogram:
         edge_tuple = tuple(edges)
         if not edge_tuple:
             raise ValueError(f"histogram {name}: needs at least one bucket edge")
-        if any(b <= a for a, b in zip(edge_tuple, edge_tuple[1:])):
+        if any(b <= a for a, b in zip(edge_tuple, edge_tuple[1:], strict=False)):
             raise ValueError(
                 f"histogram {name}: edges must be strictly increasing: {edge_tuple}"
             )
@@ -282,7 +282,7 @@ class MetricsRegistry:
         out: Dict[str, Any] = {}
         for name, metric in self._metrics.items():
             if isinstance(metric, Histogram):
-                for edge, count in zip(metric.edges, metric.counts):
+                for edge, count in zip(metric.edges, metric.counts, strict=False):
                     out[f"{name}/le_{edge}"] = count
                 out[f"{name}/le_inf"] = metric.counts[-1]
                 out[f"{name}/count"] = metric.total_count

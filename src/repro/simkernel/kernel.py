@@ -30,11 +30,21 @@ import random
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Coroutine, Iterable, Optional
 
+from ..analyze.sanitize import kernel_sanitizer
 from ..metrics.registry import MetricsRegistry
 from .futures import _PENDING, Future, Task
 
 # timer-heap depth buckets: powers of four up to a million timers
 HEAP_DEPTH_EDGES = (4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
+
+# Same-time tie-break mask XORed into every heap sequence key.  0 is the
+# production FIFO order; repro.analyze.perturb installs non-zero masks
+# (reversal, seed-shuffle) to prove results don't depend on the order of
+# equal-timestamp events.  XOR is a bijection, so keys stay unique and
+# compaction stays order-preserving under any mask.  Module-level so the
+# race detector reaches kernels constructed deep inside the bench
+# harness; individual kernels can override via ``tiebreak_mask=``.
+DEFAULT_TIEBREAK_MASK = 0
 
 
 class Timer:
@@ -73,14 +83,25 @@ class Kernel:
     # least COMPACT_MIN_HEAP entries and more than half are cancelled
     COMPACT_MIN_HEAP = 1024
 
-    def __init__(self, seed: int = 0, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        tiebreak_mask: Optional[int] = None,
+    ) -> None:
         self.seed = seed
         self._now = 0
-        # entries are (when, seq, Timer) from call_at or (when, seq,
-        # (fn, args)) from post_at; (when, seq) is unique so the third
-        # element is never compared
+        # entries are (when, seq ^ mask, Timer) from call_at or (when,
+        # seq ^ mask, (fn, args)) from post_at; (when, seq ^ mask) is
+        # unique so the third element is never compared
         self._heap: list[tuple] = []
         self._seq = 0
+        self._seq_mask = (
+            DEFAULT_TIEBREAK_MASK if tiebreak_mask is None else tiebreak_mask
+        )
+        # None unless REPRO_SANITIZE / enable_sanitizers() is on, so the
+        # run loops pay one is-None test per event (the metrics pattern)
+        self._san = kernel_sanitizer(self)
         self._events_processed = 0
         self._live_events = 0  # scheduled, not yet fired or cancelled
         self._cancelled_in_heap = 0  # lazy-deleted entries awaiting pop
@@ -136,7 +157,7 @@ class Kernel:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
         timer = Timer(when, fn, args, self)
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (when, seq, timer))
+        heappush(self._heap, (when, seq ^ self._seq_mask, timer))
         self._live_events += 1
         hist = self._heap_depth_hist
         if hist is not None:
@@ -150,7 +171,7 @@ class Kernel:
         # body of call_at inlined (minus the past-check: now+delay >= now)
         timer = Timer(self._now + delay, fn, args, self)
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (timer.when, seq, timer))
+        heappush(self._heap, (timer.when, seq ^ self._seq_mask, timer))
         self._live_events += 1
         hist = self._heap_depth_hist
         if hist is not None:
@@ -168,7 +189,7 @@ class Kernel:
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (when, seq, (fn, args)))
+        heappush(self._heap, (when, seq ^ self._seq_mask, (fn, args)))
         self._live_events += 1
         hist = self._heap_depth_hist
         if hist is not None:
@@ -184,7 +205,7 @@ class Kernel:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (self._now + delay, seq, (fn, args)))
+        heappush(self._heap, (self._now + delay, seq ^ self._seq_mask, (fn, args)))
         self._live_events += 1
         hist = self._heap_depth_hist
         if hist is not None:
@@ -263,6 +284,7 @@ class Kernel:
         """Process events until the heap drains, ``until`` is reached, or
         ``max_events`` fire.  Returns the number of events processed."""
         heap = self._heap  # _compact() mutates in place, never rebinds
+        san = self._san
         processed = 0
         try:
             while heap:
@@ -284,6 +306,8 @@ class Kernel:
                 else:
                     fn, args = obj
                 self._live_events -= 1
+                if san is not None:
+                    san.on_fire(when)
                 self._now = when
                 fn(*args)
                 processed += 1
@@ -304,6 +328,7 @@ class Kernel:
         event order are identical to ``run(max_events=1)`` in a loop.
         """
         heap = self._heap  # _compact() mutates in place, never rebinds
+        san = self._san
         processed = 0
         try:
             if limit is None:
@@ -328,6 +353,8 @@ class Kernel:
                     else:
                         fn, args = obj
                     self._live_events -= 1
+                    if san is not None:
+                        san.on_fire(when)
                     self._now = when
                     fn(*args)
                     processed += 1
@@ -357,6 +384,8 @@ class Kernel:
                 else:
                     fn, args = obj
                 self._live_events -= 1
+                if san is not None:
+                    san.on_fire(entry[0])
                 self._now = entry[0]
                 fn(*args)
                 processed += 1

@@ -24,6 +24,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, fields
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ...analyze.sanitize import sctp_sanitizer
 from ...network.packet import IP_HEADER, Packet
 from ...simkernel import MILLISECOND, SECOND, Timer
 from ...util.blobs import Blob
@@ -230,6 +231,9 @@ class Association:
         self.on_message = _noop1  # fn(AssembledMessage)
         self.on_writable = _noop
         self.on_closed = _noop1  # fn(error | None)
+
+        # protocol-invariant sanitizer; None unless REPRO_SANITIZE is on
+        self._san = sctp_sanitizer()
 
         # metrics: per-assoc probes over the stats dataclass plus stream
         # delivery/HOL observability; cwnd histogram is shared per host
@@ -675,6 +679,8 @@ class Association:
             while (self.rcv_cum_tsn + 1) in self._received_above_cum:
                 self.rcv_cum_tsn += 1
                 self._received_above_cum.discard(self.rcv_cum_tsn)
+        if self._san is not None:
+            self._san.on_data_received(self)
         for message in self.inbound.on_data(chunk):
             self._owner_buffered += message.nbytes
             self.stats.messages_delivered += 1
@@ -846,7 +852,9 @@ class Association:
                     self._any_marked = True
                     to_fast_rtx.append(record)
         if to_fast_rtx:
-            struck_paths = {r.path_addr for r in to_fast_rtx}
+            # dict.fromkeys, not a set: strike order must follow strike
+            # (TSN) order, not PYTHONHASHSEED string-hash order
+            struck_paths = dict.fromkeys(r.path_addr for r in to_fast_rtx)
             highest_out = max(self.outstanding) if self.outstanding else self.cum_tsn_acked
             for addr in struck_paths:
                 self.paths[addr].on_fast_retransmit(highest_out)
@@ -875,6 +883,8 @@ class Association:
         # trickles one packet per backed-off T3 expiry
         self._flush_marked()
         self._try_send()
+        if self._san is not None:
+            self._san.on_sack_processed(self)
         if total_acked > 0 and self.sndbuf_free() > 0:
             self.on_writable()
 
@@ -950,6 +960,7 @@ class Association:
             return
         # no SACK bundling here: retransmissions must never be crowded out
         chunks: List[Chunk] = []
+        sent_records: List[TxRecord] = []
         budget = self.config.packet_chunk_budget
         n_data = 0
         for record in marked:
@@ -958,6 +969,7 @@ class Association:
                 break
             budget -= size
             chunks.append(record.chunk)
+            sent_records.append(record)
             record.marked_for_rtx = False
             record.missing_reports = 0
             record.transmit_count += 1
@@ -977,6 +989,8 @@ class Association:
             self.stats.retransmitted_chunks += 1
             n_data += 1
         if n_data > 0:
+            if self._san is not None:
+                self._san.on_retransmit(sent_records, "marked")
             self._transmit_chunks(chunks, dest_path.addr)
             self._arm_t3(dest_path.addr, restart=True)
 

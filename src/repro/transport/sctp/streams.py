@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ...analyze.sanitize import stream_sanitizer
 from ...util.blobs import ChunkList
 from .chunks import DataChunk
 
@@ -76,6 +77,8 @@ class InboundStreams:
         self.hol_stall_ns = 0  # total time complete messages waited for order
         self.parked_messages_max = 0  # peak complete-but-undeliverable backlog
         self.delivered_per_stream = [0] * n_streams
+        # per-stream SSN-order sanitizer; None unless REPRO_SANITIZE is on
+        self._san = stream_sanitizer()
 
     def _key(self, chunk: DataChunk) -> Tuple[int, int, bool]:
         return (chunk.sid, chunk.ssn, chunk.unordered)
@@ -166,6 +169,8 @@ class InboundStreams:
                 if parked is not None:
                     self.hol_stall_ns += self._clock() - parked
             out.append(msg)
+        if self._san is not None:
+            self._san.on_deliver(out)
         return out
 
     @property

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Callable, List, Optional, Tuple
 
+from ...analyze.sanitize import tcp_sanitizer
 from ...network.packet import Packet
 from ...simkernel import MILLISECOND, Timer
 from ...util.blobs import Blob, ChunkList
@@ -167,6 +168,9 @@ class TCPConnection:
         self.on_writable: Callable[[], None] = _noop
         self.on_closed: Callable[[Optional[str]], None] = _noop1
 
+        # protocol-invariant sanitizer; None unless REPRO_SANITIZE is on
+        self._san = tcp_sanitizer()
+
     # ------------------------------------------------------------------
     # application interface
     # ------------------------------------------------------------------
@@ -279,8 +283,12 @@ class TCPConnection:
 
         if flags & ACK:
             self._process_ack(seg)
+            if self._san is not None:
+                self._san.on_ack_processed(self)
         if seg.data_len > 0:
             self._process_data(seg)
+            if self._san is not None:
+                self._san.on_delivery(self)
         if flags & FIN:
             self._process_fin(seg)
         self._try_send()
@@ -412,7 +420,7 @@ class TCPConnection:
             self._send_fin_segment()
             return
         end = min(seq + self.config.mss, self.send_buffer.tail_seq, limit)
-        for s, e in self._sacked:
+        for s, _e in self._sacked:
             if seq < s < end:
                 end = s
                 break
@@ -447,13 +455,23 @@ class TCPConnection:
             self.on_readable()
 
     def _process_fin(self, seg: TCPSegment) -> None:
-        if self.reassembly is None or seg.end_seq - 1 != self.reassembly.rcv_nxt:
+        if self.reassembly is None:
+            return  # receive direction never initialised; nothing to close
+        if self._eof:
+            # retransmitted FIN (our ACK was lost or crossed it): re-ACK so
+            # the peer stops retransmitting, but never re-count the FIN —
+            # rcv_nxt already covers it, and advancing again would ack a
+            # sequence number the peer never sent.
+            self._send_ack_now()
+            return
+        if seg.end_seq - 1 != self.reassembly.rcv_nxt:
             # FIN not yet in order (data missing before it): ignore; peer
             # will retransmit.
-            if seg.seq > self.reassembly.rcv_nxt:
-                return
+            return
         self.reassembly.rcv_nxt += 1
         self._eof = True
+        if self._san is not None:
+            self._san.on_fin_accepted(self)
         self._send_ack_now()
         if self.state == ESTABLISHED:
             self.state = CLOSE_WAIT

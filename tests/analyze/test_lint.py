@@ -1,0 +1,129 @@
+"""Determinism lint: rule detection, suppressions, report format."""
+
+from repro.analyze.lint import RULES, lint_paths, lint_source, report_json
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def test_wall_clock_flagged():
+    src = "import time\ndef f():\n    return time.time()\n"
+    findings = lint_source(src, "x.py")
+    assert rules_of(findings) == ["AN101"]
+    assert findings[0].line == 3
+
+
+def test_wall_clock_variants():
+    src = (
+        "import time, datetime\n"
+        "a = time.monotonic_ns()\n"
+        "b = datetime.datetime.now()\n"
+        "c = datetime.date.today()\n"
+    )
+    assert rules_of(lint_source(src, "x.py")) == ["AN101", "AN101", "AN101"]
+
+
+def test_module_random_flagged_but_seeded_generators_allowed():
+    bad = "import random\nx = random.random()\n"
+    assert rules_of(lint_source(bad, "x.py")) == ["AN102"]
+    good = (
+        "import random\n"
+        "import numpy as np\n"
+        "r = random.Random(7)\n"
+        "g = np.random.default_rng(7)\n"
+    )
+    assert lint_source(good, "x.py") == []
+
+
+def test_from_random_import_flagged():
+    src = "from random import randint\n"
+    assert rules_of(lint_source(src, "x.py")) == ["AN102"]
+    assert lint_source("from random import Random\n", "x.py") == []
+
+
+def test_numpy_global_stream_flagged():
+    src = "import numpy as np\nx = np.random.rand(3)\n"
+    assert rules_of(lint_source(src, "x.py")) == ["AN102"]
+
+
+def test_set_iteration_flagged():
+    direct = "for x in {1, 2, 3}:\n    print(x)\n"
+    assert rules_of(lint_source(direct, "x.py")) == ["AN103"]
+    call = "for x in set(items):\n    print(x)\n"
+    assert rules_of(lint_source(call, "x.py")) == ["AN103"]
+    comp = "out = [y for y in {n.id for n in nodes}]\n"
+    assert "AN103" in rules_of(lint_source(comp, "x.py"))
+
+
+def test_set_local_variable_tracked_across_statements():
+    # the pattern that bit association._on_sack: build a set, iterate later
+    src = (
+        "def f(records):\n"
+        "    struck = {r.path for r in records}\n"
+        "    for addr in struck:\n"
+        "        touch(addr)\n"
+    )
+    assert rules_of(lint_source(src, "x.py")) == ["AN103"]
+
+
+def test_sorted_set_iteration_is_clean():
+    src = "for x in sorted({3, 1, 2}):\n    print(x)\n"
+    assert lint_source(src, "x.py") == []
+
+
+def test_id_ordering_flagged_only_in_ordering_contexts():
+    bad = "order = sorted(objs, key=lambda o: id(o))\n"
+    assert rules_of(lint_source(bad, "x.py")) == ["AN104"]
+    cmp = "flag = id(a) < id(b)\n"
+    assert rules_of(lint_source(cmp, "x.py")) == ["AN104", "AN104"]
+    # distinct-count via id() has no ordering semantics: allowed
+    ok = "n = len({id(a) for a in objs})\n"
+    assert "AN104" not in rules_of(lint_source(ok, "x.py"))
+
+
+def test_kernel_internals_flagged_outside_kernel_module():
+    src = "def f(kernel):\n    kernel._heap.append(x)\n    kernel._now = 5\n"
+    rules = rules_of(lint_source(src, "src/repro/faults/hack.py"))
+    assert rules == ["AN105", "AN105"]
+    # the kernel's own module is exempt
+    assert lint_source(src, "src/repro/simkernel/kernel.py") == []
+    # plain clock reads through the documented idiom stay legal
+    ok = "def f(self):\n    return self.kernel._now\n"
+    assert lint_source(ok, "src/repro/transport/x.py") == []
+
+
+def test_line_suppression():
+    src = "import time\nt = time.time()  # repro: allow[AN101]\n"
+    assert lint_source(src, "x.py") == []
+    # suppressing a different rule does not hide the finding
+    other = "import time\nt = time.time()  # repro: allow[AN103]\n"
+    assert rules_of(lint_source(other, "x.py")) == ["AN101"]
+
+
+def test_file_suppression():
+    src = (
+        "# repro: allow-file[AN101]\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.monotonic()\n"
+    )
+    assert lint_source(src, "x.py") == []
+
+
+def test_report_json_schema():
+    import json
+
+    src = "import time\nx = time.time()\n"
+    doc = json.loads(report_json(lint_source(src, "x.py")))
+    assert doc["tool"] == "repro.analyze.lint"
+    assert set(doc["rules"]) == set(RULES)
+    (finding,) = doc["findings"]
+    assert finding["rule"] == "AN101"
+    assert finding["path"] == "x.py"
+    assert finding["line"] == 2
+
+
+def test_repo_sources_are_clean():
+    """The tree itself must stay lint-clean — the same gate CI runs."""
+    assert lint_paths(["src/repro"]) == []

@@ -1,0 +1,147 @@
+"""Schedule-perturbation race detector: masks, digests, planted races."""
+
+import pytest
+
+from repro.analyze.perturb import (
+    TIEBREAK_FIFO,
+    TIEBREAK_LIFO,
+    PerturbResult,
+    digest_payload,
+    filter_schedule_sensitive,
+    parse_mode,
+    perturb_run,
+    shuffle_mask,
+    tiebreak,
+)
+from repro.simkernel import Kernel
+from repro.simkernel import kernel as kernel_mod
+
+
+# ---------------------------------------------------------------------------
+# mask plumbing
+# ---------------------------------------------------------------------------
+def test_parse_mode():
+    assert parse_mode("fifo") == ("fifo", TIEBREAK_FIFO)
+    assert parse_mode("lifo") == ("lifo", TIEBREAK_LIFO)
+    name, mask = parse_mode("shuffle:7")
+    assert name == "shuffle:7" and mask == shuffle_mask(7)
+    with pytest.raises(ValueError):
+        parse_mode("coinflip")
+
+
+def test_shuffle_mask_is_deterministic_and_never_fifo():
+    assert shuffle_mask(7) == shuffle_mask(7)
+    assert shuffle_mask(7) != shuffle_mask(8)
+    for seed in range(50):
+        assert 0 < shuffle_mask(seed) <= TIEBREAK_LIFO
+
+
+def test_tiebreak_context_sets_and_restores_default():
+    assert kernel_mod.DEFAULT_TIEBREAK_MASK == TIEBREAK_FIFO
+    with tiebreak(TIEBREAK_LIFO):
+        assert kernel_mod.DEFAULT_TIEBREAK_MASK == TIEBREAK_LIFO
+        assert Kernel(seed=1)._seq_mask == TIEBREAK_LIFO
+    assert kernel_mod.DEFAULT_TIEBREAK_MASK == TIEBREAK_FIFO
+    # an explicit constructor argument always wins over the ambient default
+    with tiebreak(TIEBREAK_LIFO):
+        assert Kernel(seed=1, tiebreak_mask=0)._seq_mask == 0
+
+
+def same_time_order(mask):
+    """Fire five events at one timestamp; report the order they ran in."""
+    kernel = Kernel(seed=1, tiebreak_mask=mask)
+    order = []
+    for i in range(5):
+        kernel.call_at(1_000, order.append, i)
+    kernel.run()
+    return order
+
+
+def test_mask_reverses_only_same_time_ties():
+    assert same_time_order(TIEBREAK_FIFO) == [0, 1, 2, 3, 4]
+    assert same_time_order(TIEBREAK_LIFO) == [4, 3, 2, 1, 0]
+    # events at distinct times are untouched by any mask
+    kernel = Kernel(seed=1, tiebreak_mask=TIEBREAK_LIFO)
+    order = []
+    for i in range(5):
+        kernel.call_at(1_000 * (i + 1), order.append, i)
+    kernel.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# digests
+# ---------------------------------------------------------------------------
+def test_digest_is_key_order_invariant():
+    assert digest_payload({"a": 1, "b": 2}) == digest_payload({"b": 2, "a": 1})
+    assert digest_payload({"a": 1}) != digest_payload({"a": 2})
+
+
+def test_filter_schedule_sensitive():
+    snapshot = {
+        "kernel.timer_heap_depth.p99": 12,
+        "kernel.heap_compactions": 3,
+        "kernel.now_ns": 42,
+        "tcp.segments_sent": 9,
+    }
+    kept = filter_schedule_sensitive(snapshot)
+    assert kept == {"kernel.now_ns": 42, "tcp.segments_sent": 9}
+
+
+def test_perturb_result_reporting():
+    res = PerturbResult(label="x", digests={"fifo": "aa", "lifo": "bb"})
+    assert not res.deterministic
+    assert res.divergent_modes == ["lifo"]
+    assert "RACE" in res.report()
+    doc = res.to_jsonable()
+    assert doc["deterministic"] is False and doc["label"] == "x"
+    ok = PerturbResult(label="y", digests={"fifo": "aa", "lifo": "aa"})
+    assert ok.deterministic and "OK" in ok.report()
+
+
+# ---------------------------------------------------------------------------
+# the detector itself
+# ---------------------------------------------------------------------------
+def racy_scenario():
+    """Result depends on same-timestamp ordering: a planted race."""
+    kernel = Kernel(seed=1)  # picks up the ambient tie-break default
+    order = []
+    for i in range(4):
+        kernel.call_at(1_000, order.append, i)
+    kernel.run()
+    return {"first_winner": order[0], "order": order}
+
+
+def clean_scenario():
+    """Same events, but the result is order-insensitive."""
+    return {"order": sorted(racy_scenario()["order"])}
+
+
+def test_perturb_flags_planted_same_time_ordering_dependency():
+    """ISSUE acceptance: a planted tie-order dependency must be flagged."""
+    res = perturb_run(racy_scenario, modes=("lifo", "shuffle:3"), label="planted")
+    assert not res.deterministic
+    assert "lifo" in res.divergent_modes
+
+
+def test_perturb_passes_order_insensitive_scenario():
+    res = perturb_run(clean_scenario, modes=("lifo", "shuffle:3"), label="clean")
+    assert res.deterministic
+    assert res.divergent_modes == []
+
+
+def test_perturb_restores_fifo_default_after_run():
+    perturb_run(clean_scenario, modes=("lifo",))
+    assert kernel_mod.DEFAULT_TIEBREAK_MASK == TIEBREAK_FIFO
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_rejects_bad_specs(capsys):
+    from repro.analyze.perturb import main
+
+    with pytest.raises(SystemExit):
+        main(["fig8"])  # missing :CELL
+    with pytest.raises(ValueError):
+        main(["fig8:1024", "--modes", "coinflip"])

@@ -1,0 +1,332 @@
+"""Protocol-invariant sanitizers: gating, per-layer checks, zero-cost proof."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analyze.sanitize import (
+    AssociationSanitizer,
+    InvariantViolation,
+    KernelSanitizer,
+    OptionBSanitizer,
+    RPISanitizer,
+    StreamOrderSanitizer,
+    TCPConnectionSanitizer,
+    kernel_sanitizer,
+    rpi_sanitizer,
+    sanitized,
+    sanitizers_enabled,
+    sctp_sanitizer,
+    stream_sanitizer,
+    tcp_sanitizer,
+)
+
+
+# ---------------------------------------------------------------------------
+# enablement gating: factories return None unless opted in
+# ---------------------------------------------------------------------------
+def test_factories_return_none_when_disabled():
+    with sanitized(False):
+        assert not sanitizers_enabled()
+        assert kernel_sanitizer(object()) is None
+        assert tcp_sanitizer() is None
+        assert sctp_sanitizer() is None
+        assert stream_sanitizer() is None
+        assert rpi_sanitizer() is None
+
+
+def test_factories_return_checkers_when_enabled():
+    with sanitized(True):
+        assert sanitizers_enabled()
+        assert isinstance(kernel_sanitizer(object()), KernelSanitizer)
+        assert isinstance(tcp_sanitizer(), TCPConnectionSanitizer)
+        assert isinstance(sctp_sanitizer(), AssociationSanitizer)
+        assert isinstance(stream_sanitizer(), StreamOrderSanitizer)
+        assert isinstance(rpi_sanitizer(), RPISanitizer)
+
+
+def test_sanitized_context_restores_previous_state():
+    with sanitized(True):
+        with sanitized(False):
+            assert not sanitizers_enabled()
+        assert sanitizers_enabled()
+
+
+# ---------------------------------------------------------------------------
+# kernel layer
+# ---------------------------------------------------------------------------
+def fake_kernel(heap, now=0, live=None, cancelled=0):
+    if live is None:
+        live = len(heap)
+    return SimpleNamespace(
+        _heap=heap, _now=now, _live_events=live, _cancelled_in_heap=cancelled
+    )
+
+
+def timer(cancelled=False):
+    return SimpleNamespace(cancelled=cancelled)
+
+
+def test_kernel_time_travel_trips():
+    san = KernelSanitizer(fake_kernel([], now=1_000))
+    san.on_fire(1_000)  # equal time is legal (same-timestamp events)
+    with pytest.raises(InvariantViolation, match="monotonicity"):
+        san.on_fire(999)
+
+
+def test_kernel_heap_property_audit():
+    good = [(1, 0, timer()), (5, 1, timer()), (3, 2, timer())]
+    KernelSanitizer(fake_kernel(good)).audit()  # valid binary min-heap
+    broken = [(5, 0, timer()), (1, 1, timer())]  # parent key > child key
+    with pytest.raises(InvariantViolation, match="heap integrity"):
+        KernelSanitizer(fake_kernel(broken)).audit()
+
+
+def test_kernel_counter_agreement_audit():
+    heap = [(1, 0, timer()), (2, 1, timer(cancelled=True))]
+    KernelSanitizer(fake_kernel(heap, live=1, cancelled=1)).audit()
+    with pytest.raises(InvariantViolation, match="pending-events"):
+        KernelSanitizer(fake_kernel(heap, live=2, cancelled=1)).audit()
+    with pytest.raises(InvariantViolation, match="cancelled-in-heap"):
+        KernelSanitizer(fake_kernel(heap, live=1, cancelled=0)).audit()
+
+
+# ---------------------------------------------------------------------------
+# TCP layer
+# ---------------------------------------------------------------------------
+def fake_conn(una=100, nxt=100, tail=100, fin_seq=None,
+              cwnd=14_480, mss=1_448, ssthresh=1 << 30,
+              fast_retransmits=0, timeouts=0, rcv_nxt=50):
+    cc = SimpleNamespace(
+        cwnd=cwnd, mss=mss, ssthresh=ssthresh,
+        fast_retransmits=fast_retransmits, timeouts=timeouts,
+    )
+    return SimpleNamespace(
+        snd_una=una, snd_nxt=nxt, _fin_seq=fin_seq, cc=cc,
+        send_buffer=SimpleNamespace(tail_seq=tail),
+        reassembly=SimpleNamespace(rcv_nxt=rcv_nxt),
+        local_addr="10.0.0.1", local_port=1, remote_addr="10.0.0.2",
+        remote_port=2,
+    )
+
+
+def test_tcp_cumulative_ack_retreat_trips():
+    san = TCPConnectionSanitizer()
+    san.on_ack_processed(fake_conn(una=100))
+    san.on_ack_processed(fake_conn(una=100))  # duplicate is fine
+    with pytest.raises(InvariantViolation, match="cumulative-ACK"):
+        san.on_ack_processed(fake_conn(una=99))
+
+
+def test_tcp_ack_beyond_sent_data_trips():
+    with pytest.raises(InvariantViolation, match="send-window"):
+        TCPConnectionSanitizer().on_ack_processed(fake_conn(una=200, nxt=150))
+
+
+def test_tcp_snd_nxt_beyond_buffer_trips_unless_fin():
+    with pytest.raises(InvariantViolation, match="send-window"):
+        TCPConnectionSanitizer().on_ack_processed(
+            fake_conn(una=100, nxt=101, tail=100)
+        )
+    # the FIN legitimately occupies one sequence number past the data
+    TCPConnectionSanitizer().on_ack_processed(
+        fake_conn(una=100, nxt=101, tail=100, fin_seq=100)
+    )
+
+
+def test_tcp_cwnd_and_ssthresh_bounds():
+    with pytest.raises(InvariantViolation, match="cwnd lower bound"):
+        TCPConnectionSanitizer().on_ack_processed(fake_conn(cwnd=100, mss=1_448))
+    with pytest.raises(InvariantViolation, match="ssthresh lower bound"):
+        TCPConnectionSanitizer().on_ack_processed(
+            fake_conn(ssthresh=1_000, fast_retransmits=1)
+        )
+    # pre-loss "infinite" ssthresh is legal
+    TCPConnectionSanitizer().on_ack_processed(fake_conn(ssthresh=1 << 30))
+
+
+def test_tcp_rcv_nxt_retreat_trips():
+    san = TCPConnectionSanitizer()
+    san.on_delivery(fake_conn(rcv_nxt=500))
+    with pytest.raises(InvariantViolation, match="rcv_nxt"):
+        san.on_delivery(fake_conn(rcv_nxt=499))
+
+
+def test_tcp_double_fin_trips():
+    san = TCPConnectionSanitizer()
+    san.on_fin_accepted(fake_conn())
+    with pytest.raises(InvariantViolation, match="single-FIN"):
+        san.on_fin_accepted(fake_conn())
+
+
+# ---------------------------------------------------------------------------
+# SCTP layer
+# ---------------------------------------------------------------------------
+def record(tsn, nbytes=1_000, path="10.0.0.2", gap_acked=False):
+    return SimpleNamespace(
+        chunk=SimpleNamespace(tsn=tsn, payload=SimpleNamespace(nbytes=nbytes)),
+        path_addr=path, gap_acked=gap_acked,
+    )
+
+
+def fake_assoc(cum=10, records=(), outstanding_bytes=None, paths=None,
+               rcv_cum=0, above_cum=()):
+    outstanding = {r.chunk.tsn: r for r in records}
+    if outstanding_bytes is None:
+        outstanding_bytes = sum(
+            r.chunk.payload.nbytes for r in records if not r.gap_acked
+        )
+    if paths is None:
+        by_path = {}
+        for r in records:
+            if not r.gap_acked:
+                by_path[r.path_addr] = (
+                    by_path.get(r.path_addr, 0) + r.chunk.payload.nbytes
+                )
+        paths = {
+            addr: SimpleNamespace(
+                outstanding_bytes=nbytes, cwnd=10_000, mtu_payload=1_452
+            )
+            for addr, nbytes in by_path.items()
+        }
+    return SimpleNamespace(
+        cum_tsn_acked=cum, outstanding=outstanding,
+        outstanding_bytes=outstanding_bytes, paths=paths,
+        rcv_cum_tsn=rcv_cum, _received_above_cum=set(above_cum),
+    )
+
+
+def test_sctp_clean_sack_state_passes():
+    AssociationSanitizer().on_sack_processed(
+        fake_assoc(cum=10, records=[record(11), record(12, gap_acked=True)])
+    )
+
+
+def test_sctp_cum_tsn_retreat_trips():
+    san = AssociationSanitizer()
+    san.on_sack_processed(fake_assoc(cum=10))
+    with pytest.raises(InvariantViolation, match="cumulative-TSN"):
+        san.on_sack_processed(fake_assoc(cum=9))
+
+
+def test_sctp_outstanding_order_and_stale_tsn_trip():
+    with pytest.raises(InvariantViolation, match="outstanding TSN order"):
+        AssociationSanitizer().on_sack_processed(
+            fake_assoc(cum=10, records=[record(12), record(11)])
+        )
+    with pytest.raises(InvariantViolation, match="outstanding TSN order"):
+        # TSN <= cum should have been retired by the cumulative ACK
+        AssociationSanitizer().on_sack_processed(
+            fake_assoc(cum=10, records=[record(10)])
+        )
+
+
+def test_sctp_outstanding_bytes_mismatch_trips():
+    with pytest.raises(InvariantViolation, match="outstanding-bytes"):
+        AssociationSanitizer().on_sack_processed(
+            fake_assoc(cum=10, records=[record(11)], outstanding_bytes=999)
+        )
+
+
+def test_sctp_per_path_accounting_and_cwnd_floor():
+    assoc = fake_assoc(cum=10, records=[record(11, path="10.0.0.2")])
+    assoc.paths["10.0.0.2"].outstanding_bytes = 5
+    with pytest.raises(InvariantViolation, match="per-path outstanding"):
+        AssociationSanitizer().on_sack_processed(assoc)
+    assoc2 = fake_assoc(cum=10, records=[record(11, path="10.0.0.2")])
+    assoc2.paths["10.0.0.2"].cwnd = 100  # below one PMTU
+    with pytest.raises(InvariantViolation, match="cwnd lower bound"):
+        AssociationSanitizer().on_sack_processed(assoc2)
+
+
+def test_sctp_receiver_gap_set_consistency():
+    san = AssociationSanitizer()
+    san.on_data_received(fake_assoc(rcv_cum=5, above_cum=(7, 9)))
+    with pytest.raises(InvariantViolation, match="receiver cum-TSN"):
+        san.on_data_received(fake_assoc(rcv_cum=4))
+    with pytest.raises(InvariantViolation, match="gap-set"):
+        AssociationSanitizer().on_data_received(
+            fake_assoc(rcv_cum=5, above_cum=(5,))
+        )
+
+
+def test_sctp_e3_e4_gap_acked_retransmit_trips():
+    san = AssociationSanitizer()
+    san.on_retransmit([record(11)], "marked")  # not gap-acked: fine
+    with pytest.raises(InvariantViolation, match="E3/E4"):
+        san.on_retransmit([record(11, gap_acked=True)], "marked")
+
+
+def test_stream_ssn_order():
+    msg = lambda sid, ssn, unordered=False: SimpleNamespace(  # noqa: E731
+        sid=sid, ssn=ssn, unordered=unordered
+    )
+    san = StreamOrderSanitizer()
+    san.on_deliver([msg(0, 0), msg(0, 1), msg(3, 0)])
+    san.on_deliver([msg(0, 2), msg(1, 7, unordered=True)])  # unordered exempt
+    with pytest.raises(InvariantViolation, match="SSN order"):
+        san.on_deliver([msg(0, 4)])  # expected SSN 3
+
+
+# ---------------------------------------------------------------------------
+# RPI layer
+# ---------------------------------------------------------------------------
+def test_rpi_state_legality():
+    req = SimpleNamespace(state="rndv_wait_ack")
+    RPISanitizer().expect_state(req, "rndv_wait_ack", "LONG_ACK")
+    with pytest.raises(InvariantViolation, match="state legality"):
+        RPISanitizer().expect_state(req, "recv_body", "body piece")
+
+
+def test_option_b_non_interleaving():
+    san = OptionBSanitizer()
+    a, b = object(), object()
+    key = (1, 0)
+    san.on_piece_sent(key, a, done=False)
+    san.on_piece_sent(key, a, done=True)     # same unit finishes: fine
+    san.on_piece_sent(key, b, done=False)    # next unit starts: fine
+    san.on_piece_sent((1, 1), a, done=False)  # different stream: fine
+    with pytest.raises(InvariantViolation, match="Option B"):
+        san.on_piece_sent(key, a, done=False)  # b still mid-flight on key
+
+
+# ---------------------------------------------------------------------------
+# zero-cost property: enabling sanitizers must not change virtual time
+# ---------------------------------------------------------------------------
+def run_fig8_cell_digest():
+    from repro.analyze.perturb import digest_payload, filter_schedule_sensitive
+    from repro.bench.harness import run_experiment_cell
+    from repro.metrics import MetricsCollector
+
+    with MetricsCollector() as collector:
+        rows = [row.to_jsonable() for row in run_experiment_cell("fig8", "1024")]
+    runs = [
+        {"label": run["label"], "metrics": filter_schedule_sensitive(run["metrics"])}
+        for run in collector.runs
+    ]
+    return digest_payload({"rows": rows, "runs": runs})
+
+
+def test_sanitizers_do_not_change_fig8_results():
+    """ISSUE acceptance: sanitizers-on vs -off is bit-identical (fig8 cell)."""
+    with sanitized(False):
+        plain = run_fig8_cell_digest()
+    with sanitized(True):
+        checked = run_fig8_cell_digest()
+    assert plain == checked
+
+
+def test_full_stacks_run_clean_under_sanitizers():
+    """A lossy end-to-end SCTP exchange trips nothing with checks armed."""
+    from repro.util.blobs import RealBlob
+
+    from ..conftest import make_cluster, sctp_pair
+    from ..transport.test_sctp_transfer import pump_messages
+
+    with sanitized(True):
+        kernel, cluster = make_cluster(n_hosts=2, n_paths=2, loss_rate=0.05, seed=8)
+        s0, s1, aid = sctp_pair(kernel, cluster)
+        for _ in range(10):
+            s0.sendmsg(aid, 0, RealBlob(b"s" * 4_000))
+        msgs = pump_messages(kernel, s1, 10, limit_s=300)
+    assert len(msgs) == 10

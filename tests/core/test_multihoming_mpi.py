@@ -19,7 +19,7 @@ def test_mpi_app_survives_primary_path_failure():
 
     async def app(comm):
         peer = 1 - comm.rank
-        for i in range(12):
+        for _ in range(12):
             if comm.rank == 0:
                 await comm.send(b"x" * 20_000, dest=peer, tag=1)
                 await comm.recv(source=peer, tag=2)

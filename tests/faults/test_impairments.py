@@ -73,7 +73,7 @@ def test_gilbert_elliott_bursts_are_correlated():
         drops.append(not imp.process(pkt(i)))
     # mean burst length 1/p_exit ≈ 3.3 → consecutive-drop pairs must be
     # far more common than under i.i.d. loss of the same overall rate
-    pairs = sum(1 for a, b in zip(drops, drops[1:]) if a and b)
+    pairs = sum(1 for a, b in zip(drops, drops[1:], strict=False) if a and b)
     rate = sum(drops) / len(drops)
     iid_pairs = rate * rate * len(drops)
     assert pairs > 2 * iid_pairs

@@ -97,7 +97,7 @@ def test_tail_loss_repaired_by_t3():
 def test_gap_ack_blocks_reported():
     kernel, cluster = make_cluster(loss_rate=0.05, seed=6)
     s0, s1, aid = sctp_pair(kernel, cluster)
-    for i in range(20):
+    for _ in range(20):
         s0.sendmsg(aid, 0, RealBlob(b"x" * 4000))
     pump_messages(kernel, s1, 20, limit_s=300)
     assert s0.association(aid).stats.sacks_received > 0

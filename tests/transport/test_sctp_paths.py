@@ -132,11 +132,78 @@ def test_retransmissions_prefer_alternate_path():
     kernel, cluster = make_cluster(n_hosts=2, n_paths=2, loss_rate=0.05, seed=8)
     s0, s1, aid = sctp_pair(kernel, cluster)
     assoc = s0.association(aid)
-    for i in range(20):
+    for _ in range(20):
         s0.sendmsg(aid, 0, RealBlob(b"r" * 4_000))
     pump_messages(kernel, s1, 20, limit_s=300)
     assert assoc.stats.retransmitted_chunks > 0
     assert assoc.stats.failovers > 0  # retransmits moved to the alternate
+
+
+def test_fast_retransmit_strikes_are_hash_order_independent():
+    """Regression: the fast-retransmit path-strike pass once iterated a
+    ``set`` of address strings, so strike order — and therefore cwnd
+    evolution — varied with PYTHONHASHSEED.  The lossy multihomed run
+    below must now produce identical outcomes under different seeds."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "from repro.simkernel import Kernel\n"
+        "from repro.network import ClusterConfig, build_cluster\n"
+        "from repro.transport.sctp import OneToManySocket, SCTPConfig, SCTPEndpoint\n"
+        "from repro.util.blobs import RealBlob\n"
+        "import json\n"
+        "kernel = Kernel(seed=8)\n"
+        "cluster = build_cluster(kernel, ClusterConfig(\n"
+        "    n_hosts=2, loss_rate=0.05, n_paths=2))\n"
+        "cfg = SCTPConfig()\n"
+        "e0 = SCTPEndpoint(cluster.hosts[0], cfg)\n"
+        "e1 = SCTPEndpoint(cluster.hosts[1], cfg)\n"
+        "s0 = OneToManySocket(e0, 6000, cfg)\n"
+        "s1 = OneToManySocket(e1, 6000, cfg)\n"
+        "fut = s0.connect(cluster.host_address(1), 6000)\n"
+        "aid = kernel.run_until(fut, limit=60_000_000_000)\n"
+        "for _ in range(20):\n"
+        "    s0.sendmsg(aid, 0, RealBlob(b'r' * 4_000))\n"
+        "got = 0\n"
+        "async def pump():\n"
+        "    global got\n"
+        "    while got < 20:\n"
+        "        if s1.recvmsg() is None:\n"
+        "            await kernel.sleep(1_000_000)\n"
+        "        else:\n"
+        "            got += 1\n"
+        "kernel.spawn(pump())\n"
+        "kernel.run(until=kernel.now + 300_000_000_000)\n"
+        "assoc = s0.association(aid)\n"
+        "print(json.dumps({'got': got, 'now': kernel.now,\n"
+        "    'rtx': assoc.stats.retransmitted_chunks,\n"
+        "    'frtx': assoc.stats.fast_retransmits,\n"
+        "    'cwnd': {a: p.cwnd for a, p in assoc.paths.items()}},\n"
+        "    sort_keys=True))\n"
+    )
+
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+    def run(seed):
+        env = dict(os.environ, PYTHONHASHSEED=str(seed))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH", "")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True,
+            text=True, timeout=300, check=True,
+        )
+        return json.loads(out.stdout)
+
+    first, second = run(1), run(424242)
+    assert first == second
+    assert first["got"] == 20
+    assert first["frtx"] > 0  # the strike pass actually ran
 
 
 def test_heartbeats_probe_idle_paths():

@@ -181,6 +181,49 @@ def test_graceful_close_fin_exchange():
     assert server.conn.state == "CLOSED"
 
 
+def test_duplicate_fin_is_reacked_not_recounted():
+    """Regression: a retransmitted FIN (lost ACK) must not advance rcv_nxt
+    a second time — doing so would ACK a sequence number the peer never
+    sent and corrupt the close handshake."""
+    from repro.transport.tcp.segment import FIN, TCPSegment
+
+    kernel, cluster = make_cluster()
+    client, server, _ = tcp_pair(kernel, cluster)
+    client.close()
+    kernel.run(until=kernel.now + 5 * SECOND)
+    assert server.conn._eof
+    rcv_nxt = server.conn.reassembly.rcv_nxt
+    acks_before = server.conn.stats.segments_sent
+    # replay the FIN as if our ACK had been lost in the network
+    dup = TCPSegment(
+        src_port=client.conn.local_port,
+        dst_port=server.conn.local_port,
+        seq=client.conn._fin_seq,
+        ack=0,
+        flags=FIN,
+        window=65_535,
+    )
+    server.conn.on_segment(dup)
+    assert server.conn.reassembly.rcv_nxt == rcv_nxt  # not re-counted
+    assert server.conn.stats.segments_sent > acks_before  # but re-ACKed
+
+
+def test_fin_before_receive_direction_initialised_is_ignored():
+    """Regression companion: a FIN reaching a connection whose receive
+    direction never initialised (no reassembly buffer) must be a no-op,
+    not an AttributeError."""
+    from repro.transport.tcp.segment import FIN, TCPSegment
+
+    kernel, cluster = make_cluster()
+    e0 = TCPEndpoint(cluster.hosts[0])
+    sock = TCPSocket.connect(e0, cluster.host_address(1), 4242)
+    assert sock.conn.reassembly is None  # SYN_SENT: nothing received yet
+    stray = TCPSegment(src_port=4242, dst_port=sock.conn.local_port,
+                       seq=1, ack=0, flags=FIN, window=65_535)
+    sock.conn._process_fin(stray)  # must not raise
+    assert not sock.conn._eof
+
+
 def test_abort_resets_peer():
     kernel, cluster = make_cluster()
     client, server, _ = tcp_pair(kernel, cluster)
