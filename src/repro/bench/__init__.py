@@ -17,8 +17,13 @@ from .harness import (
     fig12_hol_blocking,
     format_table,
     multihoming_failover,
+    resolve_sweep_params,
     run_experiment_cell,
+    run_sweep_cell,
     scaled,
+    sweep_axis_names,
+    sweep_experiments,
+    sweep_free_names,
     table1_pingpong_loss,
 )
 
@@ -33,7 +38,12 @@ __all__ = [
     "fig12_hol_blocking",
     "format_table",
     "multihoming_failover",
+    "resolve_sweep_params",
     "run_experiment_cell",
+    "run_sweep_cell",
     "scaled",
+    "sweep_axis_names",
+    "sweep_experiments",
+    "sweep_free_names",
     "table1_pingpong_loss",
 ]

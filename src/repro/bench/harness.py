@@ -10,9 +10,10 @@ they are per-message effects; EXPERIMENTS.md records both.
 
 from __future__ import annotations
 
+import itertools
 import os
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core.world import WorldConfig
 from ..metrics.registry import _coerce
@@ -525,73 +526,329 @@ def chaos_matrix(seed: int = 1, jobs: int = 1) -> List[ExperimentRow]:
 
 
 # ---------------------------------------------------------------------------
-# Cell decomposition — the unit of parallel fan-out
+# Sweep-parameterised single-protocol cells (repro.sweep building blocks)
+# ---------------------------------------------------------------------------
+SCENARIO_NAMES = ("none", "bernoulli1", "bernoulli2", "burst", "corrupt2", "dup_reorder")
+
+
+def _named_scenario(name: str):
+    """Resolve a fault-scenario axis value to a :mod:`repro.faults` scenario."""
+    if name == "none":
+        return None
+    from ..faults import bernoulli_loss, burst_loss, corruption, dup_and_reorder
+
+    factories = {
+        "bernoulli1": lambda: bernoulli_loss(0.01),
+        "bernoulli2": lambda: bernoulli_loss(0.02),
+        "burst": lambda: burst_loss(p_enter_bad=0.02, p_exit_bad=0.3, loss_bad=0.9),
+        "corrupt2": lambda: corruption(0.02),
+        "dup_reorder": dup_and_reorder,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown fault scenario {name!r} (choices: {', '.join(SCENARIO_NAMES)})"
+        ) from None
+
+
+def _pingpong_cell(
+    protocol: str,
+    size: int,
+    loss: float = 0.0,
+    seed: int = 1,
+    iterations: Optional[int] = None,
+    scenario: str = "none",
+) -> List[ExperimentRow]:
+    """One single-protocol ping-pong point (the sweepable fig8/table1 atom)."""
+    iters = iterations or scaled(16, 50)
+    config = WorldConfig(
+        n_procs=2,
+        rpi=protocol,
+        loss_rate=loss,
+        seed=seed,
+        scenario=_named_scenario(scenario),
+    )
+    result = run_pingpong(
+        protocol, size, iterations=iters, config=config, limit_ns=LIMIT_NS
+    )
+    label = f"pingpong {protocol} {size}B loss={loss:g}"
+    if scenario != "none":
+        label += f" {scenario}"
+    return [
+        ExperimentRow(
+            label=label,
+            measured={
+                "MBps": result.throughput_bytes_per_s / 1e6,
+                "rtt_ms": result.round_trip_s * 1e3,
+            },
+            note=f"{iters} iters seed={seed}",
+        )
+    ]
+
+
+def _farm_sweep_cell(
+    protocol: str,
+    size_label: str,
+    loss: float = 0.0,
+    fanout: int = 1,
+    seed: int = 1,
+    num_streams: int = 10,
+    num_tasks: Optional[int] = None,
+    scenario: str = "none",
+) -> List[ExperimentRow]:
+    """One single-protocol farm point (the sweepable fig10/11 atom)."""
+    params = _farm_params(size_label, fanout)
+    if num_tasks is not None:
+        params = replace(params, num_tasks=num_tasks)
+    config = WorldConfig(
+        n_procs=8,
+        rpi=protocol,
+        loss_rate=loss,
+        seed=seed,
+        num_streams=num_streams,
+        scenario=_named_scenario(scenario),
+    )
+    result = run_farm(protocol, params, config=config, limit_ns=LIMIT_NS)
+    label = f"farm {protocol} {size_label} fanout={fanout} loss={loss:g}"
+    if scenario != "none":
+        label += f" {scenario}"
+    return [
+        ExperimentRow(
+            label=label,
+            measured={
+                "elapsed_s": result.elapsed_s,
+                "tasks_done": result.tasks_done,
+            },
+            note=f"{params.num_tasks} tasks seed={seed}",
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Cell decomposition — the unit of parallel fan-out and of repro.sweep
 # ---------------------------------------------------------------------------
 # Every experiment is a matrix of independent deterministic cells (the
 # property the paper's Dummynet testbed had: each (seed, scenario) run is
-# isolated).  ``experiment_cells`` enumerates a stable key per cell and
-# ``run_experiment_cell`` executes one; the serial entry points above are
-# exactly "run every cell in enumeration order", so a sharded run merged
-# in enumeration order reproduces the serial output byte for byte.
-_CELL_REGISTRY: Dict[str, tuple] = {
-    "fig8": (
-        lambda: [str(size) for size in FIG8_SIZES],
-        lambda key: _fig8_cell(int(key)),
+# isolated).  The registry below makes that matrix *structured*: each
+# experiment declares named axes (with a default enumeration and optional
+# closed choice sets) plus overridable free parameters, and a runner
+# taking one keyword argument per axis/free name.
+#
+# Two addressing schemes derive from it:
+#
+# * legacy key strings (``experiment_cells`` / ``run_experiment_cell``):
+#   the colon-joined default axis product, unchanged from before this
+#   registry existed — ``repro.bench.parallel`` shards on these, and a
+#   sharded run merged in enumeration order reproduces the serial output
+#   byte for byte;
+# * parameter mappings (``resolve_sweep_params`` / ``run_sweep_cell``):
+#   ``repro.sweep`` addresses any cell — including off-enumeration points
+#   like ``loss=0.05`` or a fault-scenario axis — as a validated dict,
+#   which is also what its content digests are computed over.
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named dimension of an experiment's cell matrix."""
+
+    name: str
+    values: Tuple[Any, ...]  # default enumeration (legacy key product)
+    coerce: Callable[[Any], Any]
+    choices: Optional[Tuple[Any, ...]] = None  # legal set; None = open axis
+
+
+@dataclass(frozen=True)
+class ExperimentMatrix:
+    """A sweep-addressable experiment: axes, free params, and a runner."""
+
+    name: str
+    axes: Tuple[Axis, ...]
+    run: Callable[..., List[ExperimentRow]]
+    free: Tuple[Tuple[str, Any], ...] = ()
+
+
+MATRICES: Dict[str, ExperimentMatrix] = {
+    "fig8": ExperimentMatrix(
+        "fig8",
+        (Axis("size", tuple(FIG8_SIZES), int),),
+        lambda size, seed=1, iterations=None: _fig8_cell(
+            size, seed=seed, iterations=iterations
+        ),
+        (("seed", 1), ("iterations", None)),
     ),
-    "table1": (
-        lambda: [
-            f"{size}:{loss}" for size in (30 * 1024, 300 * 1024) for loss in (0.01, 0.02)
-        ],
-        lambda key: _table1_cell(int(key.split(":")[0]), float(key.split(":")[1])),
+    "table1": ExperimentMatrix(
+        "table1",
+        (
+            Axis("size", (30 * 1024, 300 * 1024), int),
+            Axis("loss", (0.01, 0.02), float),
+        ),
+        lambda size, loss, seeds=(1, 2, 3, 4, 5): _table1_cell(size, loss, seeds=seeds),
+        (("seeds", (1, 2, 3, 4, 5)),),
     ),
-    "fig9": (
-        lambda: list(FIG9_ORDER),
-        lambda key: _fig9_cell(key),
+    "fig9": ExperimentMatrix(
+        "fig9",
+        (Axis("kernel", tuple(FIG9_ORDER), str, choices=tuple(FIG9_ORDER)),),
+        lambda kernel, cls="B", seed=1: _fig9_cell(kernel, cls=cls, seed=seed),
+        (("cls", "B"), ("seed", 1)),
     ),
-    "fig10": (
-        lambda: [
-            f"{label}:{loss}" for label in ("short", "long") for loss in (0.0, 0.01, 0.02)
-        ],
-        lambda key: _farm_cell(1, key.split(":")[0], float(key.split(":")[1])),
+    "fig10": ExperimentMatrix(
+        "fig10",
+        (
+            Axis("size_label", ("short", "long"), str, choices=("short", "long")),
+            Axis("loss", (0.0, 0.01, 0.02), float),
+        ),
+        lambda size_label, loss, seed=1: _farm_cell(1, size_label, loss, seed=seed),
+        (("seed", 1),),
     ),
-    "fig11": (
-        lambda: [
-            f"{label}:{loss}" for label in ("short", "long") for loss in (0.0, 0.01, 0.02)
-        ],
-        lambda key: _farm_cell(10, key.split(":")[0], float(key.split(":")[1])),
+    "fig11": ExperimentMatrix(
+        "fig11",
+        (
+            Axis("size_label", ("short", "long"), str, choices=("short", "long")),
+            Axis("loss", (0.0, 0.01, 0.02), float),
+        ),
+        lambda size_label, loss, seed=1: _farm_cell(10, size_label, loss, seed=seed),
+        (("seed", 1),),
     ),
-    "fig12": (
-        lambda: [
-            f"{label}:{loss}" for label in ("short", "long") for loss in (0.0, 0.01, 0.02)
-        ],
-        lambda key: _fig12_cell(key.split(":")[0], float(key.split(":")[1])),
+    "fig12": ExperimentMatrix(
+        "fig12",
+        (
+            Axis("size_label", ("short", "long"), str, choices=("short", "long")),
+            Axis("loss", (0.0, 0.01, 0.02), float),
+        ),
+        lambda size_label, loss, seeds=(1, 2, 3): _fig12_cell(
+            size_label, loss, seeds=seeds
+        ),
+        (("seeds", (1, 2, 3)),),
     ),
-    "failover": (
-        lambda: ["default"],
-        lambda key: multihoming_failover(),
+    "failover": ExperimentMatrix(
+        "failover",
+        (Axis("variant", ("default",), str, choices=("default",)),),
+        lambda variant, seed=1: multihoming_failover(seed=seed),
+        (("seed", 1),),
     ),
-    "chaos": (
-        lambda: ["tcp", "sctp"],
-        lambda key: _chaos_cell(key),
+    "chaos": ExperimentMatrix(
+        "chaos",
+        (Axis("rpi", ("tcp", "sctp"), str, choices=("tcp", "sctp")),),
+        lambda rpi, seed=1: _chaos_cell(rpi, seed=seed),
+        (("seed", 1),),
+    ),
+    "pingpong": ExperimentMatrix(
+        "pingpong",
+        (
+            Axis("protocol", ("tcp", "sctp"), str, choices=("tcp", "sctp")),
+            Axis("size", (1024, 30 * 1024), int),
+            Axis("loss", (0.0,), float),
+        ),
+        _pingpong_cell,
+        (("seed", 1), ("iterations", None), ("scenario", "none")),
+    ),
+    "farm": ExperimentMatrix(
+        "farm",
+        (
+            Axis("protocol", ("tcp", "sctp"), str, choices=("tcp", "sctp")),
+            Axis("size_label", ("short",), str, choices=("short", "long")),
+            Axis("loss", (0.0, 0.01), float),
+        ),
+        _farm_sweep_cell,
+        (
+            ("fanout", 1),
+            ("seed", 1),
+            ("num_streams", 10),
+            ("num_tasks", None),
+            ("scenario", "none"),
+        ),
     ),
 }
 
 
-def experiment_cells(name: str) -> List[str]:
-    """Stable, ordered cell keys of one experiment's matrix."""
+def _matrix(name: str) -> ExperimentMatrix:
     try:
-        list_keys, _ = _CELL_REGISTRY[name]
+        return MATRICES[name]
     except KeyError:
         raise KeyError(f"unknown experiment: {name!r}") from None
-    return list_keys()
+
+
+def sweep_experiments() -> List[str]:
+    """Every sweep-addressable experiment name, in registry order."""
+    return list(MATRICES)
+
+
+def sweep_axis_names(name: str) -> List[str]:
+    """Ordered axis names of one experiment (id/key canonical order)."""
+    return [axis.name for axis in _matrix(name).axes]
+
+
+def sweep_free_names(name: str) -> List[str]:
+    """Overridable free-parameter names of one experiment."""
+    return [key for key, _default in _matrix(name).free]
+
+
+def resolve_sweep_params(name: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate and coerce one sweep cell's parameters.
+
+    Returns the *resolved* mapping — every axis coerced and checked
+    against its choice set, every free parameter filled with its default
+    when absent (JSON lists become tuples) — in axis order then free
+    order, so two equivalent specs resolve to the same digest input.
+    Raises ``KeyError`` for an unknown experiment and ``ValueError`` for
+    unknown/illegal parameters.
+    """
+    matrix = _matrix(name)
+    axes = {axis.name: axis for axis in matrix.axes}
+    free = dict(matrix.free)
+    unknown = sorted(k for k in params if k not in axes and k not in free)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) for experiment {name!r}: {', '.join(unknown)} "
+            f"(axes: {', '.join(axes)}; free: {', '.join(free)})"
+        )
+    resolved: Dict[str, Any] = {}
+    for axis in matrix.axes:
+        if axis.name not in params:
+            raise ValueError(f"experiment {name!r} cell is missing axis {axis.name!r}")
+        try:
+            value = axis.coerce(params[axis.name])
+        except (TypeError, ValueError) as err:
+            raise ValueError(
+                f"bad value for {name!r} axis {axis.name!r}: {params[axis.name]!r} ({err})"
+            ) from None
+        if axis.choices is not None and value not in axis.choices:
+            raise ValueError(
+                f"illegal value for {name!r} axis {axis.name!r}: {value!r} "
+                f"(choices: {', '.join(str(c) for c in axis.choices)})"
+            )
+        resolved[axis.name] = value
+    for key, default in matrix.free:
+        value = params.get(key, default)
+        if isinstance(value, list):
+            value = tuple(value)
+        resolved[key] = value
+    return resolved
+
+
+def run_sweep_cell(name: str, params: Mapping[str, Any]) -> List[ExperimentRow]:
+    """Run one sweep-addressed cell from a (validated) parameter mapping."""
+    resolved = resolve_sweep_params(name, params)
+    return _matrix(name).run(**resolved)
+
+
+def experiment_cells(name: str) -> List[str]:
+    """Stable, ordered cell keys of one experiment's default matrix."""
+    matrix = _matrix(name)
+    return [
+        ":".join(str(value) for value in combo)
+        for combo in itertools.product(*(axis.values for axis in matrix.axes))
+    ]
 
 
 def run_experiment_cell(name: str, key: str) -> List[ExperimentRow]:
-    """Run one cell (at the default scale/seeds the CLI uses)."""
-    try:
-        _, run_key = _CELL_REGISTRY[name]
-    except KeyError:
-        raise KeyError(f"unknown experiment: {name!r}") from None
+    """Run one default-matrix cell (at the scale/seeds the CLI uses)."""
+    matrix = _matrix(name)
     if key not in experiment_cells(name):
         raise KeyError(f"unknown cell {key!r} for experiment {name!r}")
-    return run_key(key)
+    parts = key.split(":")
+    params = {
+        axis.name: axis.coerce(part) for axis, part in zip(matrix.axes, parts)
+    }
+    return matrix.run(**params)

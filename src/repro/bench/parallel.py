@@ -26,7 +26,7 @@ cross the process boundary.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from ..metrics import MetricsCollector
 from . import harness
@@ -53,6 +53,23 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def pool_map(fn: Callable, items: Sequence, jobs: int) -> List:
+    """Order-preserving process-pool map under a concurrency cap.
+
+    The shared fan-out primitive: ``run_experiments`` shards legacy
+    experiment cells with it and :mod:`repro.sweep` shards dirty sweep
+    cells with it.  ``jobs <= 1`` runs in-process; results always come
+    back in *input* order (never completion order), which is what makes
+    every merged document byte-identical to its serial counterpart.
+    ``fn`` must be a module-level callable and ``items`` plain data so
+    spawn-based platforms can address the work.
+    """
+    if jobs <= 1 or not items:
+        return [fn(item) for item in items]
+    with _pool_context().Pool(processes=min(jobs, len(items))) as pool:
+        return pool.map(fn, items)
+
+
 def run_experiments(
     names: Sequence[str],
     jobs: int = 1,
@@ -71,11 +88,7 @@ def run_experiments(
         for name in names
         for key in harness.experiment_cells(name)
     ]
-    if jobs <= 1:
-        outputs = [_run_cell(item) for item in items]
-    else:
-        with _pool_context().Pool(processes=min(jobs, len(items))) as pool:
-            outputs = pool.map(_run_cell, items)
+    outputs = pool_map(_run_cell, items, jobs)
     merged: Dict[str, Dict[str, List[Dict[str, Any]]]] = {
         name: {"rows": [], "runs": []} for name in names
     }

@@ -1,0 +1,74 @@
+"""Content digests: the cache key of one sweep cell.
+
+A cell's digest commits to everything that can change its rows:
+
+* the experiment name and the *resolved* parameter mapping (defaults
+  filled in, so adding an explicit ``seed=1`` to a spec does not dirty
+  a cache built without it);
+* the code version — a digest over every ``src/repro`` source file, so
+  any code change invalidates every cached cell (coarse on purpose:
+  correctness beats cache hits, and a full smoke sweep is cheap);
+* the scale switch (``REPRO_FULL``), which changes iteration counts.
+
+Digests are pure functions of those inputs — no wall clock, no
+hostnames — which is what makes a cache hit byte-equivalent to a rerun.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from ..bench.harness import full_scale
+
+DIGEST_SCHEMA = 1
+
+_code_version_memo: Optional[str] = None
+
+
+def canonical_json(obj: Any) -> str:
+    """Key-sorted, separator-normalised JSON (tuples serialise as lists)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (memoised per process).
+
+    Computed from file contents rather than a VCS revision so dirty
+    working trees invalidate correctly and the cache works without git.
+    """
+    global _code_version_memo
+    if _code_version_memo is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        hasher = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            hasher.update(path.relative_to(root).as_posix().encode())
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _code_version_memo = hasher.hexdigest()[:16]
+    return _code_version_memo
+
+
+def current_scale() -> str:
+    """The scale half of the cache key: ``full`` or ``scaled``."""
+    return "full" if full_scale() else "scaled"
+
+
+def cell_digest(
+    experiment: str,
+    resolved_params: Mapping[str, Any],
+    code: Optional[str] = None,
+    scale: Optional[str] = None,
+) -> str:
+    """The content digest one cell's cached rows are keyed by."""
+    doc = {
+        "schema": DIGEST_SCHEMA,
+        "experiment": experiment,
+        "params": dict(resolved_params),
+        "code": code if code is not None else code_version(),
+        "scale": scale if scale is not None else current_scale(),
+    }
+    return hashlib.sha256(canonical_json(doc).encode()).hexdigest()

@@ -1,0 +1,196 @@
+"""Persistent perf/result trajectory: the repo's committed curve.
+
+``BENCH_trajectory.json`` is an append-only list of normalized
+snapshots — one per recorded sweep run — so re-anchors and CI see how
+the reproduction's results and simulator performance move over time
+instead of a single latest number.  Each entry records:
+
+* ``run_id`` — short digest of (git sha, merged-sweep digest);
+* ``git_sha`` / ``date`` — the commit the sweep ran at and its commit
+  date (commit metadata, not wall clock, so entries stay deterministic
+  for a given tree);
+* ``cells`` — per-cell numeric scores distilled from the merged sweep
+  document (label -> metric -> value);
+* ``simperf`` — the calibration-normalized scores from
+  ``benchmarks/bench_simperf.py``, the hardware-independent perf curve
+  the trajectory CI gate compares against.
+
+The gate (:func:`gate_simperf`) fails when any normalized simperf score
+drops more than a threshold below the *last committed* entry — the
+sweep-era replacement for the old fixed-baseline perf-smoke check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .digest import canonical_json
+
+TRAJECTORY_SCHEMA = 1
+BEGIN_MARK = "<!-- sweep-trajectory:begin -->"
+END_MARK = "<!-- sweep-trajectory:end -->"
+
+# simperf benches get one trend-table column each, in this order
+_SIMPERF_COLUMNS = ("kernel_events", "timer_churn", "link_packets", "fig8_cell")
+
+
+def _git(args: List[str]) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    value = out.stdout.strip()
+    return value if out.returncode == 0 and value else None
+
+
+def build_entry(
+    sweep_doc: Dict[str, Any],
+    simperf_doc: Optional[Dict[str, Any]] = None,
+    git_sha: Optional[str] = None,
+    date: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Normalize one merged sweep document into a trajectory entry."""
+    if git_sha is None:
+        git_sha = _git(["rev-parse", "HEAD"]) or "unknown"
+    if date is None:
+        date = _git(["show", "-s", "--format=%cs", "HEAD"]) or "unknown"
+    sweep_digest = hashlib.sha256(canonical_json(sweep_doc).encode()).hexdigest()
+    run_id = hashlib.sha256(f"{git_sha}:{sweep_digest}".encode()).hexdigest()[:12]
+    cells: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for cell in sweep_doc.get("cells", []):
+        scores: Dict[str, Dict[str, float]] = {}
+        for row in cell.get("rows", []):
+            numeric = {
+                key: value
+                for key, value in row.get("measured", {}).items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            }
+            if numeric:
+                scores[row.get("label", "?")] = numeric
+        cells[cell["id"]] = scores
+    entry: Dict[str, Any] = {
+        "schema": TRAJECTORY_SCHEMA,
+        "run_id": run_id,
+        "git_sha": git_sha,
+        "date": date,
+        "sweep": sweep_doc.get("name", "?"),
+        "scale": sweep_doc.get("scale", "?"),
+        "code_version": sweep_doc.get("code_version", "?"),
+        "cells": cells,
+    }
+    if simperf_doc is not None:
+        entry["simperf"] = {
+            name: bench["normalized"]
+            for name, bench in sorted(simperf_doc.get("benches", {}).items())
+            if isinstance(bench, dict) and "normalized" in bench
+        }
+    return entry
+
+
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """The trajectory document at ``path``, or a fresh empty one."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    if not isinstance(doc, dict) or not isinstance(doc.get("entries"), list):
+        return {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    return doc
+
+
+def append_trajectory(path: str, entry: Dict[str, Any]) -> Dict[str, Any]:
+    """Append one entry to the trajectory file (created if missing)."""
+    doc = load_trajectory(path)
+    doc["entries"].append(entry)
+    Path(path).write_text(
+        json.dumps(doc, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return doc
+
+
+def gate_simperf(
+    last_entry: Optional[Dict[str, Any]],
+    entry: Dict[str, Any],
+    max_regression: float,
+) -> List[str]:
+    """Regression messages vs the last committed entry (empty = pass).
+
+    Only simperf normalized scores gate — sweep cell scores are virtual
+    -time results whose drift means a *behaviour* change, which the
+    determinism gates already catch far more precisely.
+    """
+    if not last_entry:
+        return []
+    baseline = last_entry.get("simperf") or {}
+    current = entry.get("simperf") or {}
+    if baseline and not current:
+        return ["trajectory entry has no simperf scores but the last entry does"]
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in last trajectory entry but not now")
+            continue
+        floor = base * (1.0 - max_regression)
+        if cur < floor:
+            failures.append(
+                f"{name}: normalized score {cur:.4f} is "
+                f"{1 - cur / base:.0%} below the last trajectory entry's "
+                f"{base:.4f} (allowed: {max_regression:.0%})"
+            )
+    return failures
+
+
+def render_trend_table(trajectory: Dict[str, Any], limit: int = 12) -> str:
+    """Markdown trend table over the trajectory's most recent entries."""
+    entries = trajectory.get("entries", [])[-limit:]
+    header = ["run", "date", "git", "scale", "cells"]
+    header += [f"{name} (norm)" for name in _SIMPERF_COLUMNS]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "---|" * len(header),
+    ]
+    for entry in entries:
+        simperf = entry.get("simperf") or {}
+        row = [
+            entry.get("run_id", "?"),
+            entry.get("date", "?"),
+            str(entry.get("git_sha", "?"))[:9],
+            entry.get("scale", "?"),
+            str(len(entry.get("cells", {}))),
+        ]
+        for name in _SIMPERF_COLUMNS:
+            value = simperf.get(name)
+            row.append(f"{value:.3f}" if isinstance(value, (int, float)) else "—")
+        lines.append("| " + " | ".join(row) + " |")
+    if not entries:
+        lines.append("| _no recorded runs yet_ |" + " |" * (len(header) - 1))
+    return "\n".join(lines)
+
+
+def update_experiments_md(path: str, trajectory: Dict[str, Any]) -> None:
+    """Rewrite the generated trend table between the EXPERIMENTS.md
+    markers (the section is appended if the markers are missing)."""
+    table = render_trend_table(trajectory)
+    block = f"{BEGIN_MARK}\n{table}\n{END_MARK}"
+    target = Path(path)
+    text = target.read_text(encoding="utf-8") if target.is_file() else ""
+    begin = text.find(BEGIN_MARK)
+    end = text.find(END_MARK)
+    if begin != -1 and end != -1 and end >= begin:
+        text = text[:begin] + block + text[end + len(END_MARK):]
+    else:
+        if text and not text.endswith("\n"):
+            text += "\n"
+        text += f"\n## Perf/result trajectory (generated)\n\n{block}\n"
+    target.write_text(text, encoding="utf-8")

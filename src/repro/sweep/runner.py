@@ -1,0 +1,127 @@
+"""Execute a sweep: cache lookup, dirty-cell fan-out, deterministic merge.
+
+The runner is a thin deterministic pipeline:
+
+1. digest every cell of the (already expanded and validated) spec;
+2. satisfy what it can from the :class:`~repro.sweep.cache.SweepCache`;
+3. run the remaining *dirty* cells under a concurrency cap via
+   :func:`repro.bench.parallel.pool_map` — the same order-preserving
+   fan-out primitive the legacy ``--jobs`` bench path uses;
+4. merge all rows back **in spec order**, never completion order, into
+   one result document.
+
+Steps 2-3 are the only stateful parts; the merge is a pure function
+(:func:`merge_cells`) of the spec and a ``{digest: rows}`` mapping, so
+the merged document is byte-identical whether cells came from the
+cache, a serial run, or a shuffled parallel completion — the property
+CI's ``sweep-gate`` diffs for.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bench import harness
+from ..bench.parallel import pool_map
+from .cache import SweepCache
+from .digest import canonical_json, cell_digest, code_version, current_scale
+from .spec import SweepSpec
+
+RESULT_SCHEMA = 1
+
+
+@dataclass
+class SweepRunResult:
+    """One sweep execution: the merged document plus what actually ran."""
+
+    doc: Dict[str, Any]
+    executed: List[str] = field(default_factory=list)  # cell ids recomputed
+    cached: List[str] = field(default_factory=list)  # cell ids from cache
+
+
+def _run_sweep_item(item: Tuple[str, str]) -> List[Dict[str, Any]]:
+    """Worker body: one (experiment, params-JSON) cell to plain rows."""
+    experiment, params_json = item
+    rows = harness.run_sweep_cell(experiment, json.loads(params_json))
+    return [row.to_jsonable() for row in rows]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    cache: Optional[SweepCache] = None,
+) -> SweepRunResult:
+    """Run every cell of ``spec`` (cache-aware) and merge the results."""
+    code = code_version()
+    scale = current_scale()
+    digests = [
+        cell_digest(cell.experiment, cell.resolved, code=code, scale=scale)
+        for cell in spec.cells
+    ]
+    rows_by_digest: Dict[str, List[Dict[str, Any]]] = {}
+    dirty = []
+    cached_ids = []
+    for cell, digest in zip(spec.cells, digests):
+        if digest in rows_by_digest:
+            # two spec cells resolving to the same computation share rows
+            cached_ids.append(cell.id)
+            continue
+        rows = cache.get(digest) if cache is not None else None
+        if rows is not None:
+            rows_by_digest[digest] = rows
+            cached_ids.append(cell.id)
+        else:
+            dirty.append((cell, digest))
+    if dirty:
+        items = [
+            (cell.experiment, canonical_json(cell.resolved)) for cell, _ in dirty
+        ]
+        outputs = pool_map(_run_sweep_item, items, jobs)
+        for (cell, digest), rows in zip(dirty, outputs):
+            rows_by_digest[digest] = rows
+            if cache is not None:
+                cache.put(digest, cell, rows)
+    doc = merge_cells(spec, rows_by_digest, code=code, scale=scale)
+    return SweepRunResult(
+        doc=doc,
+        executed=[cell.id for cell, _ in dirty],
+        cached=cached_ids,
+    )
+
+
+def merge_cells(
+    spec: SweepSpec,
+    rows_by_digest: Dict[str, List[Dict[str, Any]]],
+    code: Optional[str] = None,
+    scale: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Pure deterministic merge: cells in spec order, whatever the
+    iteration/completion order of ``rows_by_digest`` was."""
+    code = code if code is not None else code_version()
+    scale = scale if scale is not None else current_scale()
+    cells = []
+    for cell in spec.cells:
+        digest = cell_digest(cell.experiment, cell.resolved, code=code, scale=scale)
+        cells.append(
+            {
+                "id": cell.id,
+                "experiment": cell.experiment,
+                "params": cell.resolved,
+                "digest": digest,
+                "rows": rows_by_digest[digest],
+            }
+        )
+    return {
+        "schema": RESULT_SCHEMA,
+        "name": spec.name,
+        "code_version": code,
+        "scale": scale,
+        "cells": cells,
+    }
+
+
+def dumps_result(doc: Dict[str, Any]) -> str:
+    """The byte-stable serialisation every determinism gate compares."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,94 @@
+"""The refactored harness cell registry: legacy key addressing must be
+bit-compatible with before, and sweep (param-dict) addressing must hit
+the same runners."""
+
+import pytest
+
+from repro.bench import harness
+
+
+def test_legacy_cell_keys_unchanged():
+    """The key strings repro.bench.parallel shards on are frozen."""
+    assert harness.experiment_cells("fig8")[:3] == ["1", "1024", "4096"]
+    assert harness.experiment_cells("table1") == [
+        "30720:0.01", "30720:0.02", "307200:0.01", "307200:0.02",
+    ]
+    assert harness.experiment_cells("fig10") == [
+        "short:0.0", "short:0.01", "short:0.02",
+        "long:0.0", "long:0.01", "long:0.02",
+    ]
+    assert harness.experiment_cells("fig9") == list(harness.FIG9_ORDER)
+    assert harness.experiment_cells("failover") == ["default"]
+    assert harness.experiment_cells("chaos") == ["tcp", "sctp"]
+
+
+def test_every_experiment_is_sweep_addressable():
+    for name in harness.sweep_experiments():
+        axes = harness.sweep_axis_names(name)
+        assert axes, name
+        assert harness.experiment_cells(name), name
+
+
+def test_sweep_and_legacy_addressing_run_the_same_cell():
+    legacy = [row.to_jsonable() for row in harness.run_experiment_cell("fig8", "1024")]
+    swept = [
+        row.to_jsonable()
+        for row in harness.run_sweep_cell("fig8", {"size": 1024})
+    ]
+    assert legacy == swept
+
+
+def test_resolve_fills_defaults_in_axis_then_free_order():
+    resolved = harness.resolve_sweep_params(
+        "pingpong", {"loss": "0.01", "protocol": "tcp", "size": "512"}
+    )
+    assert list(resolved) == [
+        "protocol", "size", "loss", "seed", "iterations", "scenario",
+    ]
+    assert resolved["size"] == 512 and resolved["loss"] == 0.01  # coerced
+    assert resolved["seed"] == 1
+
+
+def test_resolve_converts_json_lists_to_tuples():
+    resolved = harness.resolve_sweep_params(
+        "table1", {"size": 30720, "loss": 0.01, "seeds": [1, 2]}
+    )
+    assert resolved["seeds"] == (1, 2)
+
+
+def test_resolve_rejects_unknown_and_illegal():
+    with pytest.raises(KeyError):
+        harness.resolve_sweep_params("nope", {})
+    with pytest.raises(ValueError, match="unknown parameter"):
+        harness.resolve_sweep_params("fig8", {"size": 1, "bogus": 2})
+    with pytest.raises(ValueError, match="missing axis"):
+        harness.resolve_sweep_params("fig8", {})
+    with pytest.raises(ValueError, match="illegal value"):
+        harness.resolve_sweep_params(
+            "farm", {"protocol": "tcp", "size_label": "huge", "loss": 0.0}
+        )
+    with pytest.raises(ValueError, match="bad value"):
+        harness.resolve_sweep_params("fig8", {"size": "not-a-number"})
+
+
+def test_fault_scenario_axis():
+    clean = harness.run_sweep_cell(
+        "pingpong", {"protocol": "tcp", "size": 4096, "loss": 0.0, "iterations": 4}
+    )
+    faulty = harness.run_sweep_cell(
+        "pingpong",
+        {
+            "protocol": "tcp",
+            "size": 4096,
+            "loss": 0.0,
+            "iterations": 4,
+            "scenario": "bernoulli2",
+        },
+    )
+    assert faulty[0].measured["MBps"] < clean[0].measured["MBps"]
+    assert "bernoulli2" in faulty[0].label
+    with pytest.raises(ValueError, match="unknown fault scenario"):
+        harness.run_sweep_cell(
+            "pingpong",
+            {"protocol": "tcp", "size": 4096, "loss": 0.0, "scenario": "gremlins"},
+        )

@@ -1,0 +1,119 @@
+"""Trajectory reporting: normalized entries, the simperf curve gate,
+and the generated EXPERIMENTS.md trend table."""
+
+import pytest
+
+from repro.sweep import (
+    BEGIN_MARK,
+    END_MARK,
+    append_trajectory,
+    build_entry,
+    gate_simperf,
+    load_trajectory,
+    render_trend_table,
+    update_experiments_md,
+)
+
+SWEEP_DOC = {
+    "schema": 1,
+    "name": "smoke",
+    "code_version": "abc",
+    "scale": "scaled",
+    "cells": [
+        {
+            "id": "pingpong[protocol=tcp]",
+            "experiment": "pingpong",
+            "params": {"protocol": "tcp"},
+            "digest": "d1",
+            "rows": [
+                {
+                    "label": "pingpong tcp",
+                    "measured": {"MBps": 58.6, "ok": True, "note": "x"},
+                    "paper": {},
+                    "note": "",
+                }
+            ],
+        }
+    ],
+}
+
+SIMPERF_DOC = {
+    "schema": 1,
+    "benches": {
+        "kernel_events": {"normalized": 0.5},
+        "fig8_cell": {"normalized": 0.25},
+    },
+}
+
+
+def _entry(**kwargs):
+    return build_entry(SWEEP_DOC, git_sha="deadbeef", date="2026-08-07", **kwargs)
+
+
+def test_entry_is_normalized_and_numeric_only():
+    entry = _entry(simperf_doc=SIMPERF_DOC)
+    scores = entry["cells"]["pingpong[protocol=tcp]"]["pingpong tcp"]
+    assert scores == {"MBps": 58.6}  # bools and strings dropped
+    assert entry["simperf"] == {"fig8_cell": 0.25, "kernel_events": 0.5}
+    assert entry["git_sha"] == "deadbeef"
+    # run id is a pure function of (sha, sweep doc)
+    assert entry["run_id"] == _entry()["run_id"]
+
+
+def test_append_and_load_roundtrip(tmp_path):
+    path = str(tmp_path / "BENCH_trajectory.json")
+    assert load_trajectory(path)["entries"] == []
+    doc = append_trajectory(path, _entry(simperf_doc=SIMPERF_DOC))
+    assert len(doc["entries"]) == 1
+    doc = append_trajectory(path, _entry(simperf_doc=SIMPERF_DOC))
+    assert len(load_trajectory(path)["entries"]) == 2
+
+
+@pytest.mark.parametrize(
+    "last, current, n_failures",
+    [
+        (None, {"kernel_events": 0.1}, 0),  # first entry: nothing to gate
+        ({"kernel_events": 0.5}, {"kernel_events": 0.4}, 0),  # -20% ok
+        ({"kernel_events": 0.5}, {"kernel_events": 0.3}, 1),  # -40% fails
+        ({"kernel_events": 0.5}, {}, 1),  # scores vanished
+        ({"a": 0.5, "b": 0.5}, {"a": 0.1, "b": 0.1}, 2),
+    ],
+)
+def test_gate_simperf(last, current, n_failures):
+    last_entry = {"simperf": last} if last is not None else None
+    entry = {"simperf": current}
+    failures = gate_simperf(last_entry, entry, max_regression=0.30)
+    assert len(failures) == n_failures
+
+
+def test_trend_table_renders_entries():
+    trajectory = {"entries": [_entry(simperf_doc=SIMPERF_DOC)]}
+    table = render_trend_table(trajectory)
+    assert "| run |" in table.splitlines()[0]
+    assert _entry()["run_id"] in table
+    assert "0.500" in table  # kernel_events normalized
+    empty = render_trend_table({"entries": []})
+    assert "no recorded runs" in empty
+
+
+def test_update_experiments_md_replaces_between_markers(tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    path.write_text(f"# header\n\n{BEGIN_MARK}\nstale\n{END_MARK}\n\n## after\n")
+    update_experiments_md(str(path), {"entries": [_entry()]})
+    text = path.read_text()
+    assert "stale" not in text
+    assert _entry()["run_id"] in text
+    assert text.startswith("# header")
+    assert text.rstrip().endswith("## after")
+    # idempotent: markers survive the rewrite
+    update_experiments_md(str(path), {"entries": [_entry()]})
+    assert text == path.read_text()
+
+
+def test_update_experiments_md_appends_when_markers_missing(tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    path.write_text("# doc")
+    update_experiments_md(str(path), {"entries": []})
+    text = path.read_text()
+    assert BEGIN_MARK in text and END_MARK in text
+    assert "## Perf/result trajectory" in text

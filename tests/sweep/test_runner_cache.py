@@ -1,0 +1,120 @@
+"""Runner + cache contract: digests, invalidation, resumability, and
+byte-stable deterministic merging whatever order cells complete in."""
+
+import json
+
+from repro.sweep import (
+    SweepCache,
+    cell_digest,
+    dumps_result,
+    merge_cells,
+    run_sweep,
+    spec_from_dict,
+)
+
+TINY = {
+    "name": "tiny",
+    "sweeps": [
+        {
+            "experiment": "pingpong",
+            "matrix": {"protocol": ["tcp", "sctp"]},
+            "params": {"size": 512, "loss": 0.0, "iterations": 2},
+        }
+    ],
+}
+
+
+def _tiny_spec():
+    return spec_from_dict(TINY)
+
+
+def test_cold_run_then_warm_resume_recomputes_nothing(tmp_path):
+    spec = _tiny_spec()
+    cache = SweepCache(tmp_path / "cache")
+    cold = run_sweep(spec, cache=cache)
+    assert len(cold.executed) == 2 and not cold.cached
+    warm = run_sweep(spec, cache=cache)
+    assert not warm.executed and len(warm.cached) == 2
+    assert dumps_result(warm.doc) == dumps_result(cold.doc)
+
+
+def test_cache_clear_forces_recompute(tmp_path):
+    spec = _tiny_spec()
+    cache = SweepCache(tmp_path / "cache")
+    cold = run_sweep(spec, cache=cache)
+    assert cache.clear() == 2
+    again = run_sweep(spec, cache=cache)
+    assert len(again.executed) == 2 and not again.cached
+    assert dumps_result(again.doc) == dumps_result(cold.doc)
+
+
+def test_no_cache_run_works():
+    result = run_sweep(_tiny_spec(), cache=None)
+    assert len(result.executed) == 2
+    assert result.doc["cells"][0]["rows"]
+
+
+def test_digest_changes_with_params_code_and_scale():
+    base = cell_digest("pingpong", {"size": 512}, code="c1", scale="scaled")
+    assert cell_digest("pingpong", {"size": 1024}, code="c1", scale="scaled") != base
+    assert cell_digest("pingpong", {"size": 512}, code="c2", scale="scaled") != base
+    assert cell_digest("pingpong", {"size": 512}, code="c1", scale="full") != base
+    assert cell_digest("farm", {"size": 512}, code="c1", scale="scaled") != base
+    # and it is stable: same inputs, same key
+    assert cell_digest("pingpong", {"size": 512}, code="c1", scale="scaled") == base
+
+
+def test_config_digest_change_invalidates_cached_cell(tmp_path):
+    """Editing a cell's parameters in the spec dirties exactly that cell."""
+    spec = _tiny_spec()
+    cache = SweepCache(tmp_path / "cache")
+    run_sweep(spec, cache=cache)
+    edited = json.loads(json.dumps(TINY))
+    edited["sweeps"][0]["params"]["iterations"] = 3
+    warm = run_sweep(spec_from_dict(edited), cache=cache)
+    assert len(warm.executed) == 2  # new digests -> both cells recomputed
+    mixed = json.loads(json.dumps(TINY))
+    mixed["sweeps"][0]["matrix"]["protocol"] = ["tcp", "sctp"]
+    both = run_sweep(spec_from_dict(mixed), cache=cache)
+    assert not both.executed  # unchanged digests still hit
+
+
+def test_tampered_cache_entry_is_a_miss(tmp_path):
+    spec = _tiny_spec()
+    cache = SweepCache(tmp_path / "cache")
+    cold = run_sweep(spec, cache=cache)
+    digest = cold.doc["cells"][0]["digest"]
+    path = cache.path(digest)
+    doc = json.loads(path.read_text())
+    doc["digest"] = "0" * 64  # content no longer matches its key
+    path.write_text(json.dumps(doc))
+    assert cache.get(digest) is None
+    path.write_text("{truncated")
+    assert cache.get(digest) is None
+
+
+def test_merge_is_deterministic_under_shuffled_completion():
+    """merge_cells is a pure function of (spec, rows): feeding it the
+    same rows mapping built in reversed/shuffled insert order yields the
+    same bytes — completion order can never leak into the document."""
+    spec = _tiny_spec()
+    result = run_sweep(spec, cache=None)
+    rows_by_digest = {
+        cell["digest"]: cell["rows"] for cell in result.doc["cells"]
+    }
+    reversed_order = dict(reversed(list(rows_by_digest.items())))
+    code = result.doc["code_version"]
+    scale = result.doc["scale"]
+    merged_a = merge_cells(spec, rows_by_digest, code=code, scale=scale)
+    merged_b = merge_cells(spec, reversed_order, code=code, scale=scale)
+    assert dumps_result(merged_a) == dumps_result(merged_b) == dumps_result(result.doc)
+
+
+def test_parallel_matches_serial_bytes(tmp_path):
+    spec = _tiny_spec()
+    serial = run_sweep(spec, jobs=1, cache=None)
+    parallel = run_sweep(spec, jobs=2, cache=SweepCache(tmp_path / "cache"))
+    assert dumps_result(serial.doc) == dumps_result(parallel.doc)
+    # and the parallel run's cache warms a serial resume
+    warm = run_sweep(spec, jobs=1, cache=SweepCache(tmp_path / "cache"))
+    assert not warm.executed
