@@ -20,8 +20,11 @@ reverses every tie; a hash-derived mask deterministically shuffles them.
 What must match across tie-breaks: every virtual-time output (durations,
 bytes, retransmit counts — all transport and RPI metrics).  What may
 legitimately differ: kernel *heap diagnostics* (depth histogram,
-compaction count, lazily-cancelled entries) — those measure the schedule
-itself, so :data:`SCHEDULE_SENSITIVE_PREFIXES` is excluded from digests.
+compaction count, lazily-cancelled entries) and link *queue-occupancy
+histograms* (sampled at enqueue instants, so same-timestamp enqueue
+order shows through) — those measure the schedule itself, so
+:data:`SCHEDULE_SENSITIVE_PREFIXES` and
+:data:`SCHEDULE_SENSITIVE_INFIXES` are excluded from digests.
 """
 
 from __future__ import annotations
@@ -62,6 +65,16 @@ SCHEDULE_SENSITIVE_PREFIXES: Tuple[str, ...] = (
     "kernel.tasks_spawned",
 )
 
+#: Metric-key infixes excluded from digests.  Link queue-occupancy
+#: histograms sample the instantaneous queue depth at each packet
+#: *enqueue instant*; when several enqueues share one virtual timestamp
+#: the depth each observes depends on intra-timestamp order — the
+#: histogram measures the tie-break, not the system.  Delivery times,
+#: byte counts, and drop counters stay digest-covered.
+SCHEDULE_SENSITIVE_INFIXES: Tuple[str, ...] = (
+    ".queue_occupancy_bytes/",
+)
+
 
 class tiebreak:
     """Context manager installing a tie-break mask as the kernel default.
@@ -95,6 +108,7 @@ def filter_schedule_sensitive(snapshot: Dict[str, Any]) -> Dict[str, Any]:
         key: value
         for key, value in snapshot.items()
         if not key.startswith(SCHEDULE_SENSITIVE_PREFIXES)
+        and not any(infix in key for infix in SCHEDULE_SENSITIVE_INFIXES)
     }
 
 
@@ -264,6 +278,7 @@ __all__ = [
     "TIEBREAK_FIFO",
     "TIEBREAK_LIFO",
     "SCHEDULE_SENSITIVE_PREFIXES",
+    "SCHEDULE_SENSITIVE_INFIXES",
     "shuffle_mask",
     "tiebreak",
     "filter_schedule_sensitive",

@@ -386,6 +386,8 @@ class StreamOrderSanitizer:
         for message in messages:
             if message.unordered:
                 continue
+            if getattr(message, "mid", None) is not None:
+                continue  # I-DATA: ordered by MID, audited by IDataSanitizer
             expected = self._next_ssn.get(message.sid, 0)
             if message.ssn != expected:
                 _fail(
@@ -395,6 +397,82 @@ class StreamOrderSanitizer:
                     f"expected {expected}",
                 )
             self._next_ssn[message.sid] = expected + 1
+
+
+class IDataSanitizer:
+    """RFC 8260 I-DATA legality on one association's inbound path.
+
+    Complements :class:`OptionBSanitizer` (which forbids *RPI-level*
+    message interleaving under legacy DATA) with the transport-level
+    rules the I-DATA extension introduces:
+
+    * **DATA/I-DATA exclusivity** — after negotiation an association uses
+      one encoding; the first data chunk received fixes the mode and any
+      later chunk of the other kind trips the check (RFC 8260 §2.2.2);
+    * **FSN contiguity** — a reassembled message's fragments carry FSNs
+      0..E with the B bit on FSN 0 and the E bit on the last;
+    * **per-stream MID order** — ordered messages of one stream surface
+      with consecutive MIDs (mod 2**32).  Unordered messages are exempt.
+    """
+
+    __slots__ = ("_mode", "_expected_mid")
+
+    def __init__(self) -> None:
+        self._mode: Optional[str] = None
+        self._expected_mid: Dict[int, int] = {}
+
+    def on_chunk(self, chunk: Any) -> None:
+        """Every inbound data chunk (legacy or I-DATA) passes through."""
+        mode = "I-DATA" if chunk.is_idata else "DATA"
+        if self._mode is None:
+            self._mode = mode
+        elif self._mode != mode:
+            _fail(
+                "sctp",
+                "DATA/I-DATA exclusivity",
+                f"received a {mode} chunk (tsn={chunk.tsn}) on an "
+                f"association already using {self._mode}: the negotiated "
+                "encoding must not change mid-association",
+            )
+
+    def on_assembled(self, sid: int, mid: int, frags: Any, e_fsn: int) -> None:
+        """A message completed reassembly; audit its fragment numbering."""
+        fsns = sorted(frags)
+        if fsns != list(range(e_fsn + 1)):
+            _fail(
+                "sctp",
+                "I-DATA FSN contiguity",
+                f"stream {sid} mid {mid} assembled from FSNs {fsns}, "
+                f"expected 0..{e_fsn}",
+            )
+        if not frags[0].begin:
+            _fail(
+                "sctp",
+                "I-DATA FSN contiguity",
+                f"stream {sid} mid {mid}: fragment with FSN 0 lacks the B bit",
+            )
+        if not frags[e_fsn].end:
+            _fail(
+                "sctp",
+                "I-DATA FSN contiguity",
+                f"stream {sid} mid {mid}: fragment with FSN {e_fsn} lacks "
+                "the E bit",
+            )
+
+    def on_deliver(self, messages: Any) -> None:
+        """Ordered I-DATA messages must surface in MID succession."""
+        for message in messages:
+            if message.unordered:
+                continue
+            expected = self._expected_mid.get(message.sid)
+            if expected is not None and message.mid != expected:
+                _fail(
+                    "sctp",
+                    "per-stream MID order",
+                    f"stream {message.sid} delivered MID {message.mid}, "
+                    f"expected {expected}",
+                )
+            self._expected_mid[message.sid] = (message.mid + 1) & 0xFFFFFFFF
 
 
 # ---------------------------------------------------------------------------
@@ -479,6 +557,11 @@ def stream_sanitizer() -> Optional[StreamOrderSanitizer]:
     return StreamOrderSanitizer() if sanitizers_enabled() else None
 
 
+def idata_sanitizer() -> Optional[IDataSanitizer]:
+    """Sanitizer for one association's I-DATA path, or None when disabled."""
+    return IDataSanitizer() if sanitizers_enabled() else None
+
+
 def rpi_sanitizer() -> Optional[RPISanitizer]:
     """Sanitizer for one RPI's rendezvous machine, or None when disabled."""
     return RPISanitizer() if sanitizers_enabled() else None
@@ -499,12 +582,14 @@ __all__: List[str] = [
     "TCPConnectionSanitizer",
     "AssociationSanitizer",
     "StreamOrderSanitizer",
+    "IDataSanitizer",
     "RPISanitizer",
     "OptionBSanitizer",
     "kernel_sanitizer",
     "tcp_sanitizer",
     "sctp_sanitizer",
     "stream_sanitizer",
+    "idata_sanitizer",
     "rpi_sanitizer",
     "option_b_sanitizer",
 ]

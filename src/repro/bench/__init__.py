@@ -16,6 +16,7 @@ from .harness import (
     fig11_farm_fanout,
     fig12_hol_blocking,
     format_table,
+    interleave_matrix,
     multihoming_failover,
     resolve_sweep_params,
     run_experiment_cell,
@@ -37,6 +38,7 @@ __all__ = [
     "fig11_farm_fanout",
     "fig12_hol_blocking",
     "format_table",
+    "interleave_matrix",
     "multihoming_failover",
     "resolve_sweep_params",
     "run_experiment_cell",

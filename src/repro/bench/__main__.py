@@ -46,6 +46,7 @@ from . import (
     fig11_farm_fanout,
     fig12_hol_blocking,
     format_table,
+    interleave_matrix,
     multihoming_failover,
     table1_pingpong_loss,
 )
@@ -59,6 +60,7 @@ EXPERIMENTS = {
     "fig11": ("Fig. 11: farm run times, fanout=10", fig11_farm_fanout),
     "fig12": ("Fig. 12: 10 streams vs 1 stream (SCTP)", fig12_hol_blocking),
     "failover": ("Multihoming: primary-path failure mid-run", multihoming_failover),
+    "interleave": ("RFC 8260: small-message latency under bulk", interleave_matrix),
     "chaos": ("Chaos matrix: fault scenarios x both stacks", chaos_matrix),
 }
 

@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 from ..core.world import WorldConfig
 from ..metrics.registry import _coerce
 from ..workloads.farm import FarmParams, run_farm
+from ..workloads.interleave_mix import run_interleave_mix
 from ..workloads.mpbench import make_pingpong, run_pingpong
 from ..workloads.npb import run_npb
 
@@ -525,6 +526,21 @@ def chaos_matrix(seed: int = 1, jobs: int = 1) -> List[ExperimentRow]:
     return _chaos_cell("tcp", seed) + _chaos_cell("sctp", seed)
 
 
+def interleave_matrix() -> List[ExperimentRow]:
+    """Small-message latency under concurrent bulk, RFC 8260 on/off.
+
+    Runs the default ``interleave`` cell matrix (SCTP only; the TCP
+    baseline and the wfq/prio schedulers are addressable via
+    ``repro.sweep`` — see ``benchmarks/sweep_interleave.json``).  The
+    serial order matches the cell enumeration, so a ``--jobs`` sharded
+    run merges to byte-identical output.
+    """
+    rows: List[ExperimentRow] = []
+    for key in experiment_cells("interleave"):
+        rows.extend(run_experiment_cell("interleave", key))
+    return rows
+
+
 # ---------------------------------------------------------------------------
 # Sweep-parameterised single-protocol cells (repro.sweep building blocks)
 # ---------------------------------------------------------------------------
@@ -552,6 +568,16 @@ def _named_scenario(name: str):
         ) from None
 
 
+def _interleave_flag(value: Any) -> str:
+    """Coerce an interleaving axis value to its canonical "on"/"off"."""
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    text = str(value).lower()
+    if text not in ("on", "off"):
+        raise ValueError(f"interleaving must be on/off, got {value!r}")
+    return text
+
+
 def _pingpong_cell(
     protocol: str,
     size: int,
@@ -559,6 +585,8 @@ def _pingpong_cell(
     seed: int = 1,
     iterations: Optional[int] = None,
     scenario: str = "none",
+    interleaving: str = "off",
+    scheduler: str = "fcfs",
 ) -> List[ExperimentRow]:
     """One single-protocol ping-pong point (the sweepable fig8/table1 atom)."""
     iters = iterations or scaled(16, 50)
@@ -568,6 +596,8 @@ def _pingpong_cell(
         loss_rate=loss,
         seed=seed,
         scenario=_named_scenario(scenario),
+        interleaving=_interleave_flag(interleaving) == "on",
+        scheduler=scheduler,
     )
     result = run_pingpong(
         protocol, size, iterations=iters, config=config, limit_ns=LIMIT_NS
@@ -575,6 +605,10 @@ def _pingpong_cell(
     label = f"pingpong {protocol} {size}B loss={loss:g}"
     if scenario != "none":
         label += f" {scenario}"
+    if _interleave_flag(interleaving) == "on":
+        label += " idata"
+    if scheduler != "fcfs":
+        label += f" sched={scheduler}"
     return [
         ExperimentRow(
             label=label,
@@ -596,6 +630,8 @@ def _farm_sweep_cell(
     num_streams: int = 10,
     num_tasks: Optional[int] = None,
     scenario: str = "none",
+    interleaving: str = "off",
+    scheduler: str = "fcfs",
 ) -> List[ExperimentRow]:
     """One single-protocol farm point (the sweepable fig10/11 atom)."""
     params = _farm_params(size_label, fanout)
@@ -608,11 +644,17 @@ def _farm_sweep_cell(
         seed=seed,
         num_streams=num_streams,
         scenario=_named_scenario(scenario),
+        interleaving=_interleave_flag(interleaving) == "on",
+        scheduler=scheduler,
     )
     result = run_farm(protocol, params, config=config, limit_ns=LIMIT_NS)
     label = f"farm {protocol} {size_label} fanout={fanout} loss={loss:g}"
     if scenario != "none":
         label += f" {scenario}"
+    if _interleave_flag(interleaving) == "on":
+        label += " idata"
+    if scheduler != "fcfs":
+        label += f" sched={scheduler}"
     return [
         ExperimentRow(
             label=label,
@@ -621,6 +663,56 @@ def _farm_sweep_cell(
                 "tasks_done": result.tasks_done,
             },
             note=f"{params.num_tasks} tasks seed={seed}",
+        )
+    ]
+
+
+def _interleave_cell(
+    protocol: str,
+    interleaving: str,
+    scheduler: str,
+    loss: float = 0.0,
+    seed: int = 1,
+    rounds: Optional[int] = None,
+    bulk_kib: int = 128,
+    small_bytes: int = 1024,
+    bulks_per_round: int = 1,
+) -> List[ExperimentRow]:
+    """One mixed small/large traffic point (the RFC 8260 experiment atom).
+
+    A latency-critical small message is sent behind concurrent bulk
+    transfers on the same association but a different stream; the
+    measured quantity is its GO-to-arrival latency.  ``interleaving=on``
+    with a non-FCFS scheduler is the configuration under test; the same
+    cell with ``off``/``fcfs`` (and the TCP run) are the baselines.
+    """
+    flag = _interleave_flag(interleaving)
+    n_rounds = rounds or scaled(6, 24)
+    result = run_interleave_mix(
+        protocol,
+        bulk_size=bulk_kib * 1024,
+        small_size=small_bytes,
+        rounds=n_rounds,
+        bulks_per_round=bulks_per_round,
+        interleaving=flag == "on",
+        scheduler=scheduler,
+        loss_rate=loss,
+        seed=seed,
+        limit_ns=LIMIT_NS,
+    )
+    label = f"mix {protocol} idata={flag} sched={scheduler} loss={loss:g}"
+    return [
+        ExperimentRow(
+            label=label,
+            measured={
+                "small_us": result.small_latency_mean_ns / 1e3,
+                "small_max_us": result.small_latency_max_ns / 1e3,
+                "bulk_MBps": result.bulk_throughput_mbps,
+            },
+            note=(
+                f"{n_rounds} rounds x{bulks_per_round} {bulk_kib}KiB bulk "
+                f"seed={seed}"
+            ),
         )
     ]
 
@@ -741,7 +833,32 @@ MATRICES: Dict[str, ExperimentMatrix] = {
             Axis("loss", (0.0,), float),
         ),
         _pingpong_cell,
-        (("seed", 1), ("iterations", None), ("scenario", "none")),
+        (
+            ("seed", 1),
+            ("iterations", None),
+            ("scenario", "none"),
+            ("interleaving", "off"),
+            ("scheduler", "fcfs"),
+        ),
+    ),
+    "interleave": ExperimentMatrix(
+        "interleave",
+        (
+            Axis("protocol", ("sctp",), str, choices=("tcp", "sctp")),
+            Axis("interleaving", ("off", "on"), _interleave_flag,
+                 choices=("off", "on")),
+            Axis("scheduler", ("fcfs", "rr"), str,
+                 choices=("fcfs", "rr", "wfq", "prio")),
+        ),
+        _interleave_cell,
+        (
+            ("loss", 0.0),
+            ("seed", 1),
+            ("rounds", None),
+            ("bulk_kib", 128),
+            ("small_bytes", 1024),
+            ("bulks_per_round", 1),
+        ),
     ),
     "farm": ExperimentMatrix(
         "farm",
@@ -757,6 +874,8 @@ MATRICES: Dict[str, ExperimentMatrix] = {
             ("num_streams", 10),
             ("num_tasks", None),
             ("scenario", "none"),
+            ("interleaving", "off"),
+            ("scheduler", "fcfs"),
         ),
     ),
 }

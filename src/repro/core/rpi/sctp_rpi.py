@@ -71,6 +71,8 @@ class SCTPRPI(BaseRPI):
         eager_limit=None,
         long_piece_size: Optional[int] = None,
         port: int = MPI_BASE_PORT,
+        interleaving: Optional[bool] = None,
+        scheduler: Optional[str] = None,
     ) -> None:
         super().__init__(process, **({} if eager_limit is None else {"eager_limit": eager_limit}))
         if num_streams < 1:
@@ -82,13 +84,17 @@ class SCTPRPI(BaseRPI):
         self.port = port
         self.endpoint = process.sctp_endpoint
         base = process.world.sctp_config
-        self.sctp_config = SCTPConfig(
-            **{
-                **base.__dict__,
-                "n_out_streams": num_streams,
-                "n_in_streams": num_streams,
-            }
-        )
+        overrides = {
+            "n_out_streams": num_streams,
+            "n_in_streams": num_streams,
+        }
+        # RFC 8260 interleaving + stream-scheduler options ride through to
+        # the association config; None keeps the world-level default
+        if interleaving is not None:
+            overrides["interleaving"] = interleaving
+        if scheduler is not None:
+            overrides["scheduler"] = scheduler
+        self.sctp_config = SCTPConfig(**{**base.__dict__, **overrides})
         if self.long_piece_size + ENVELOPE_SIZE > self.sctp_config.max_message_size:
             raise ValueError("long piece size exceeds the sctp_sendmsg limit")
         self.sock: Optional[OneToManySocket] = None

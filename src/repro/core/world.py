@@ -38,6 +38,11 @@ class WorldConfig:
     cost_model: CostModel = field(default_factory=CostModel)
     num_streams: int = 10  # SCTP RPI stream pool (1 = ablation module)
     eager_limit: int = EAGER_LIMIT
+    # RFC 8260 message interleaving (I-DATA) + stream scheduling policy;
+    # the scheduler runs either way, but only "fcfs" matches legacy DATA
+    # transmission order bit-for-bit
+    interleaving: bool = False
+    scheduler: str = "fcfs"  # "fcfs" | "rr" | "wfq" | "prio"
     tcp_config: TCPConfig = field(default_factory=TCPConfig)
     sctp_config: SCTPConfig = field(default_factory=SCTPConfig)
     compute_rate_flops: float = 1.0e9  # virtual node speed for NPB kernels
@@ -81,6 +86,8 @@ class MPIProcess:
                 self,
                 num_streams=world.config.num_streams,
                 eager_limit=world.config.eager_limit,
+                interleaving=world.config.interleaving,
+                scheduler=world.config.scheduler,
             )
         else:
             raise ValueError(f"unknown rpi {world.config.rpi!r}")

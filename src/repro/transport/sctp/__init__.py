@@ -13,7 +13,10 @@ Everything the paper relies on is here:
   slow start entered whenever cwnd <= ssthresh (§4.1.1's list),
 * multihoming: per-destination cwnd/RTO, heartbeats, failover, and
   retransmissions directed to an alternate active path,
-* one-to-one and one-to-many socket styles, autoclose, and no half-close.
+* one-to-one and one-to-many socket styles, autoclose, and no half-close,
+* RFC 8260 user-message interleaving (I-DATA chunks, MID/FSN reassembly)
+  negotiated at association setup, with pluggable stream schedulers
+  (fcfs/rr/wfq/prio) deciding which stream's message transmits next.
 """
 
 from .association import Association, SCTPConfig
@@ -24,6 +27,8 @@ from .chunks import (
     DataChunk,
     HeartbeatAckChunk,
     HeartbeatChunk,
+    IDataChunk,
+    IForwardTsnChunk,
     InitAckChunk,
     InitChunk,
     SackChunk,
@@ -33,6 +38,16 @@ from .chunks import (
     ShutdownCompleteChunk,
 )
 from .endpoint import SCTPEndpoint
+from .interleave import InterleavedReassembly, OutboundInterleave
+from .sched import (
+    SCHEDULER_NAMES,
+    FCFSScheduler,
+    PriorityScheduler,
+    RoundRobinScheduler,
+    StreamScheduler,
+    WeightedFairScheduler,
+    make_scheduler,
+)
 from .socket import MessageTooBig, OneToManySocket, OneToOneSocket, ReceivedMessage
 
 __all__ = [
@@ -41,19 +56,30 @@ __all__ = [
     "CookieAckChunk",
     "CookieEchoChunk",
     "DataChunk",
+    "FCFSScheduler",
     "HeartbeatAckChunk",
     "HeartbeatChunk",
+    "IDataChunk",
+    "IForwardTsnChunk",
     "InitAckChunk",
     "InitChunk",
+    "InterleavedReassembly",
     "MessageTooBig",
     "OneToManySocket",
     "OneToOneSocket",
+    "OutboundInterleave",
+    "PriorityScheduler",
     "ReceivedMessage",
+    "RoundRobinScheduler",
     "SackChunk",
+    "SCHEDULER_NAMES",
     "SCTPConfig",
     "SCTPEndpoint",
     "SCTPPacket",
     "ShutdownAckChunk",
     "ShutdownChunk",
     "ShutdownCompleteChunk",
+    "StreamScheduler",
+    "WeightedFairScheduler",
+    "make_scheduler",
 ]

@@ -20,9 +20,9 @@ Design choices that matter for the paper's results:
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from dataclasses import dataclass, fields
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ...analyze.sanitize import sctp_sanitizer
 from ...network.packet import IP_HEADER, Packet
@@ -35,9 +35,12 @@ from .chunks import (
     CookieAckChunk,
     CookieEchoChunk,
     COMMON_HEADER,
+    DATA_CHUNK_HEADER,
     DataChunk,
     HeartbeatAckChunk,
     HeartbeatChunk,
+    IDATA_CHUNK_HEADER,
+    IDataChunk,
     InitAckChunk,
     InitChunk,
     SackChunk,
@@ -46,8 +49,11 @@ from .chunks import (
     ShutdownChunk,
     ShutdownCompleteChunk,
     StateCookie,
+    _pad4,
 )
+from .interleave import OutboundInterleave
 from .paths import ACTIVE, PathState
+from .sched import QueuedMessage, make_scheduler
 from .streams import InboundStreams, OutboundStreams
 
 # association states
@@ -88,11 +94,28 @@ class SCTPConfig:
     # ("split fast retransmit"), since cross-path reordering would
     # otherwise trigger constant spurious fast retransmits.
     cmt: bool = False
+    # RFC 8260: offer user-message interleaving (I-DATA).  Active only
+    # when *both* sides offer it; otherwise the association falls back to
+    # legacy DATA/SSN transparently.
+    interleaving: bool = False
+    # sender-side stream scheduler: fcfs | rr | wfq | prio (repro.
+    # transport.sctp.sched).  fcfs reproduces pre-scheduler behaviour
+    # bit-for-bit.
+    scheduler: str = "fcfs"
+    # per-stream weights (wfq) / priorities (prio); short tuples are
+    # padded with weight 1 / priority 0
+    stream_weights: Tuple[int, ...] = ()
+    stream_priorities: Tuple[int, ...] = ()
 
     @property
     def chunk_payload_budget(self) -> int:
         """Max user bytes in a single DATA chunk of a full packet."""
         return self.pmtu - IP_HEADER - COMMON_HEADER - 16
+
+    @property
+    def idata_payload_budget(self) -> int:
+        """Max user bytes in a single I-DATA chunk (20-byte header)."""
+        return self.pmtu - IP_HEADER - COMMON_HEADER - 20
 
     @property
     def packet_chunk_budget(self) -> int:
@@ -142,6 +165,10 @@ class AssocStats:
     heartbeats_sent: int = 0
     heartbeat_acks_received: int = 0
     path_failures: int = 0  # paths declared INACTIVE (error limit hit)
+    idata_chunks_sent: int = 0  # RFC 8260 I-DATA encodings chosen
+    idata_chunks_received: int = 0
+    scheduler_decisions: int = 0  # fragments dequeued by the scheduler
+    messages_interleaved: int = 0  # mid-message preemptions (I-DATA only)
 
 
 ASSOC_STAT_FIELDS = tuple(f.name for f in fields(AssocStats))
@@ -183,10 +210,18 @@ class Association:
         self.primary_addr = peer_addr
         self._add_path(peer_addr)
 
-        # sender
+        # sender: user messages queue *unfragmented* in the scheduler;
+        # fragments (and their TSN/SSN/MID) are cut at dequeue time
         self.next_tsn = self.my_initial_tsn
         self.outbound = OutboundStreams(self.config.n_out_streams)
-        self.send_queue: Deque[DataChunk] = deque()
+        self.scheduler = make_scheduler(
+            self.config.scheduler,
+            self.config.n_out_streams,
+            self.config.stream_weights,
+            self.config.stream_priorities,
+        )
+        self.out_interleave = OutboundInterleave(self.config.n_out_streams)
+        self.interleaving_active = False  # negotiated at establishment
         self.queued_bytes = 0
         self.outstanding: "OrderedDict[int, TxRecord]" = OrderedDict()
         self.outstanding_bytes = 0
@@ -253,6 +288,8 @@ class Association:
             "hol_stall_ns",
             lambda: self.inbound.hol_stall_ns if self.inbound else 0,
         )
+        scope.probe("interleaving_active", lambda: self.interleaving_active)
+        scope.probe("scheduler", lambda: self.scheduler.name)
         scope.probe(
             "parked_messages_max",
             lambda: self.inbound.parked_messages_max if self.inbound else 0,
@@ -266,6 +303,14 @@ class Association:
                 f"stream{sid}.delivered",
                 lambda s=sid: (
                     self.inbound.delivered_per_stream[s]
+                    if self.inbound and s < self.inbound.n_streams
+                    else 0
+                ),
+            )
+            scope.probe(
+                f"stream{sid}.hol_stall_ns",
+                lambda s=sid: (
+                    self.inbound.hol_stall_ns_per_stream[s]
                     if self.inbound and s < self.inbound.n_streams
                     else 0
                 ),
@@ -297,6 +342,7 @@ class Association:
             n_in_streams=self.config.n_in_streams,
             initial_tsn=self.my_initial_tsn,
             addresses=tuple(self.host.addresses()),
+            idata=self.config.interleaving,
         )
         # INIT goes with vtag 0: the peer has no tag for us yet
         self._transmit_chunks([init], self.primary_addr, vtag=0)
@@ -311,6 +357,12 @@ class Association:
         n_in = min(self.config.n_in_streams, chunk.n_out_streams)
         self.outbound = OutboundStreams(max(1, n_out))
         self.inbound = self._make_inbound(n_in)
+        # RFC 8260 negotiation: interleave only when both sides offered
+        # I-DATA; otherwise fall back to legacy DATA/SSN.  The scheduler
+        # itself is kept (it may already hold queued messages) — only its
+        # granularity switches.
+        self.interleaving_active = bool(self.config.interleaving and chunk.idata)
+        self.scheduler.set_interleaving(self.interleaving_active)
         for addr in chunk.addresses:
             self._add_path(addr)
         self.endpoint.register_association(self, chunk.addresses)
@@ -354,6 +406,10 @@ class Association:
         assoc.peer_rwnd = cookie.peer_a_rwnd
         assoc.outbound = OutboundStreams(max(1, cookie.n_out_streams))
         assoc.inbound = assoc._make_inbound(cookie.n_in_streams)
+        # the signed cookie carries the negotiated I-DATA result (the
+        # endpoint computed it from both sides' offers at INIT time)
+        assoc.interleaving_active = bool(cookie.idata)
+        assoc.scheduler.set_interleaving(assoc.interleaving_active)
         for addr in cookie.peer_addresses:
             assoc._add_path(addr)
         assoc.state = ESTABLISHED
@@ -401,34 +457,15 @@ class Association:
             )
         if self.queued_bytes + self.outstanding_bytes + payload.nbytes > self.config.sndbuf:
             return False
-        ssn = 0 if unordered else self.outbound.next_ssn(sid)
-        budget = self.config.chunk_payload_budget
-        nbytes = payload.nbytes
-        if nbytes <= budget:
-            # single-fragment fast path: no slicing, no loop bookkeeping
-            self.send_queue.append(
-                DataChunk(self.next_tsn, sid, ssn, payload, True, True, unordered, ppid)
+        if not unordered and not 0 <= sid < self.outbound.n_streams:
+            raise ValueError(
+                f"stream {sid} out of range (have {self.outbound.n_streams})"
             )
-            self.next_tsn += 1
-            self.queued_bytes += nbytes
-        else:
-            offset = 0
-            first = True
-            while True:
-                remaining = nbytes - offset
-                take = budget if budget < remaining else remaining
-                fragment = payload.slice(offset, offset + take)
-                offset += take
-                last = offset >= nbytes
-                # positional args: fragmentation builds many chunks per call
-                self.send_queue.append(
-                    DataChunk(self.next_tsn, sid, ssn, fragment, first, last, unordered, ppid)
-                )
-                self.next_tsn += 1
-                self.queued_bytes += take
-                first = False
-                if last:
-                    break
+        # messages queue unfragmented; the scheduler decides which one
+        # supplies the next fragment, and _dequeue_for_bundle cuts it
+        # (assigning the TSN, and the SSN/MID on the first fragment)
+        self.scheduler.push(QueuedMessage(sid, payload, unordered, ppid))
+        self.queued_bytes += payload.nbytes
         self._touch_autoclose()
         if self.state == ESTABLISHED:
             self._try_send()
@@ -473,21 +510,43 @@ class Association:
         return None
 
     def _dequeue_for_bundle(self, budget: int, path_addr: str) -> List[DataChunk]:
-        """Pop queued DATA chunks that fit ``budget`` bytes, registering
-        them as outstanding on ``path_addr``."""
+        """Cut DATA/I-DATA fragments from scheduler-chosen messages that
+        fit ``budget`` bytes, registering them as outstanding on
+        ``path_addr``.
+
+        Fragmentation is lazy: the scheduler holds whole messages and
+        this loop slices one fragment at a time, assigning the TSN here
+        and the SSN/MID at a message's first fragment.  Because every
+        scheduler serves one stream's messages FIFO, the sequence numbers
+        equal eager assignment's — and under fcfs the entire schedule is
+        bit-for-bit the old FIFO-of-chunks behaviour.
+        """
         chunks: List[DataChunk] = []
         path = self.paths[path_addr]
         now = self.kernel._now
-        send_queue = self.send_queue
+        sched = self.scheduler
         outstanding = self.outstanding
         stats = self.stats
-        while send_queue:
-            head = send_queue[0]
-            head_wire = head._wire  # == wire_size(), sans the method call
-            if head_wire > budget:
+        # the encoding is fixed per message at its first fragment; every
+        # dequeue happens after INIT-ACK processing, so the negotiated
+        # result is always known here
+        idata = self.interleaving_active
+        if idata:
+            frag_budget = self.config.idata_payload_budget
+            header = IDATA_CHUNK_HEADER
+        else:
+            frag_budget = self.config.chunk_payload_budget
+            header = DATA_CHUNK_HEADER
+        while True:
+            head = sched.peek()
+            if head is None:
                 break
-            size = head.payload.nbytes
-            if self.peer_rwnd < size:
+            remaining = head.nbytes - head.offset
+            take = frag_budget if frag_budget < remaining else remaining
+            wire = _pad4(header + take)
+            if wire > budget:
+                break
+            if self.peer_rwnd < take:
                 if self.outstanding_bytes > 0 or chunks:
                     break  # window closed: at most one probe chunk in flight
                 if now < self._next_window_probe_ns:
@@ -497,22 +556,52 @@ class Association:
                     )
                     break
                 self._next_window_probe_ns = now + path.rto.rto_ns
-            send_queue.popleft()
-            chunks.append(head)
-            budget -= head_wire
-            self.queued_bytes -= size
-            outstanding[head.tsn] = TxRecord(head, path_addr, now)
-            self.outstanding_bytes += size
-            path.outstanding_bytes += size
-            path.bytes_sent += size
-            rwnd = self.peer_rwnd - size
+            begin = head.offset == 0
+            end = take == remaining
+            if begin:
+                head.idata = idata
+                if idata:
+                    head.seq = self.out_interleave.next_mid(head.sid, head.unordered)
+                else:
+                    head.seq = 0 if head.unordered else self.outbound.next_ssn(head.sid)
+            if begin and end:
+                # single-fragment fast path: no slicing
+                fragment = head.payload
+            else:
+                fragment = head.payload.slice(head.offset, head.offset + take)
+            if head.idata:
+                chunk = IDataChunk(
+                    self.next_tsn, head.sid, 0, fragment, begin, end,
+                    head.unordered, head.ppid, mid=head.seq, fsn=head.fsn,
+                )
+                stats.idata_chunks_sent += 1
+            else:
+                chunk = DataChunk(
+                    self.next_tsn, head.sid, head.seq, fragment, begin, end,
+                    head.unordered, head.ppid,
+                )
+            self.next_tsn += 1
+            sched.consume(take)
+            chunks.append(chunk)
+            budget -= wire
+            self.queued_bytes -= take
+            outstanding[chunk.tsn] = TxRecord(chunk, path_addr, now)
+            self.outstanding_bytes += take
+            path.outstanding_bytes += take
+            path.bytes_sent += take
+            rwnd = self.peer_rwnd - take
             self.peer_rwnd = rwnd if rwnd > 0 else 0
             stats.data_chunks_sent += 1
-            stats.bytes_sent += size
+            stats.bytes_sent += take
             if path.outstanding_bytes >= path.cwnd:
                 break
-        if chunks and path_addr not in self._rtt_probe:
-            self._rtt_probe[path_addr] = (chunks[-1].tsn, now)
+        if chunks:
+            if path_addr not in self._rtt_probe:
+                self._rtt_probe[path_addr] = (chunks[-1].tsn, now)
+            # scheduler observability: counters live on the scheduler,
+            # the stats dataclass mirrors them for probes/summing
+            stats.scheduler_decisions = sched.decisions
+            stats.messages_interleaved = sched.interleave_switches
         return chunks
 
     def _active_paths(self) -> List[PathState]:
@@ -529,7 +618,7 @@ class Association:
         path = self._active_path()
         if path is None:
             return
-        while self.send_queue and path.can_send():
+        while self.scheduler.has_pending() and path.can_send():
             if self.peer_rwnd <= 0 and self.outstanding_bytes > 0:
                 break
             chunks: List[Chunk] = []
@@ -555,10 +644,10 @@ class Association:
         """CMT transmission: round-robin packets over every active path
         with congestion-window room."""
         progress = True
-        while self.send_queue and progress:
+        while self.scheduler.has_pending() and progress:
             progress = False
             for path in self._active_paths():
-                if not self.send_queue:
+                if not self.scheduler.has_pending():
                     break
                 if not path.can_send():
                     continue
@@ -672,6 +761,8 @@ class Association:
             return
         self.stats.data_chunks_received += 1
         self.stats.bytes_received += chunk.payload.nbytes
+        if chunk.is_idata:
+            self.stats.idata_chunks_received += 1
         if tsn == self.rcv_cum_tsn + 1 and not self._received_above_cum:
             self.rcv_cum_tsn = tsn  # in-order, no gap: skip the set churn
         else:
@@ -1144,7 +1235,7 @@ class Association:
     def _maybe_send_shutdown(self) -> None:
         if not self._shutdown_requested:
             return
-        if self.send_queue or self.outstanding:
+        if self.scheduler.has_pending() or self.outstanding:
             return
         if self.state == SHUTDOWN_PENDING:
             self.state = SHUTDOWN_SENT
@@ -1197,7 +1288,7 @@ class Association:
 
     def _on_autoclose(self) -> None:
         self._autoclose_timer = None
-        if self.state == ESTABLISHED and not self.outstanding and not self.send_queue:
+        if self.state == ESTABLISHED and not self.outstanding and not self.scheduler.has_pending():
             self.close()
 
     def _teardown(self, error: Optional[str]) -> None:

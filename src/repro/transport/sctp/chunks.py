@@ -10,13 +10,14 @@ by the PMTU (paper §4.1.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import ClassVar, Tuple
 
 from ...network.packet import IP_HEADER
 from ...util.blobs import Blob
 
 COMMON_HEADER = 12
 DATA_CHUNK_HEADER = 16
+IDATA_CHUNK_HEADER = 20  # RFC 8260 §2.1: DATA + 32-bit MID + 32-bit FSN/PPID
 SACK_CHUNK_BASE = 16
 CONTROL_CHUNK_BASE = 20
 
@@ -37,6 +38,10 @@ class Chunk:
 @dataclass(slots=True)
 class DataChunk(Chunk):
     """One (possibly fragmentary) piece of a user message."""
+
+    # class flag, not a field: lets the association/stream hot paths
+    # branch DATA vs I-DATA without isinstance checks
+    is_idata: ClassVar[bool] = False
 
     tsn: int
     sid: int  # stream identifier (SNo in the paper's Fig. 1)
@@ -62,6 +67,51 @@ class DataChunk(Chunk):
             f"<DATA tsn={self.tsn} sid={self.sid} ssn={self.ssn} "
             f"len={self.payload.nbytes} {frag or 'M'}>"
         )
+
+
+@dataclass(slots=True)
+class IDataChunk(DataChunk):
+    """RFC 8260 I-DATA: a DATA chunk whose fragments are keyed by
+    (stream, Message ID, Fragment Sequence Number) instead of contiguous
+    TSNs, so fragments of different user messages may interleave on the
+    wire.  ``ssn`` is unused (always 0): ordered delivery follows the
+    per-stream MID succession.  Subclassing ``DataChunk`` keeps every
+    dispatch site (association input, delivery observers,
+    ``SCTPPacket.data_chunks``) working unchanged.
+    """
+
+    is_idata: ClassVar[bool] = True
+
+    mid: int = 0  # 32-bit per-stream message identifier
+    fsn: int = 0  # fragment sequence number; 0 on the B fragment
+
+    def __post_init__(self) -> None:
+        self._wire = _pad4(IDATA_CHUNK_HEADER + self.payload.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        frag = ("B" if self.begin else "") + ("E" if self.end else "")
+        return (
+            f"<I-DATA tsn={self.tsn} sid={self.sid} mid={self.mid} "
+            f"fsn={self.fsn} len={self.payload.nbytes} {frag or 'M'}>"
+        )
+
+
+@dataclass(slots=True)
+class IForwardTsnChunk(Chunk):
+    """RFC 8260 §2.3 I-FORWARD-TSN.
+
+    Wire format reserved for partial reliability (PR-SCTP) over I-DATA:
+    each skip entry abandons one (stream, MID) up to the new cumulative
+    TSN.  Nothing emits it yet — it exists so the chunk registry covers
+    the full RFC 8260 surface and PR-SCTP can land without wire changes.
+    """
+
+    new_cum_tsn: int
+    # (sid, unordered-flag, mid) per abandoned message
+    skips: Tuple[Tuple[int, int, int], ...] = ()
+
+    def wire_size(self) -> int:
+        return _pad4(8 + 8 * len(self.skips))
 
 
 @dataclass(slots=True)
@@ -99,6 +149,9 @@ class InitChunk(Chunk):
     n_in_streams: int
     initial_tsn: int
     addresses: Tuple[str, ...] = ()  # multihoming: all our bound addresses
+    # RFC 8260 §2.2.1: "I can receive I-DATA" capability flag.  Rides in
+    # the (padded) parameter space, so the wire size is unchanged.
+    idata: bool = False
 
     def wire_size(self) -> int:
         return _pad4(CONTROL_CHUNK_BASE + 8 * len(self.addresses))
@@ -124,6 +177,9 @@ class StateCookie:
     n_out_streams: int
     n_in_streams: int
     created_at_ns: int
+    # negotiated RFC 8260 interleaving result (both sides offered I-DATA);
+    # signed like the rest of the body so a peer cannot flip it in flight
+    idata: bool = False
     signature: int = 0
 
     def body(self) -> Tuple:
@@ -140,6 +196,7 @@ class StateCookie:
             self.n_out_streams,
             self.n_in_streams,
             self.created_at_ns,
+            self.idata,
         )
 
     SIZE = 120  # approximate serialized cookie size on the wire
@@ -156,6 +213,8 @@ class InitAckChunk(Chunk):
     initial_tsn: int
     cookie: StateCookie = None
     addresses: Tuple[str, ...] = ()
+    # echo of the negotiated I-DATA result (see InitChunk.idata)
+    idata: bool = False
 
     def wire_size(self) -> int:
         return _pad4(CONTROL_CHUNK_BASE + 8 * len(self.addresses) + StateCookie.SIZE)

@@ -168,6 +168,8 @@ class SCTPEndpoint:
             n_out_streams=min(config.n_out_streams, init.n_in_streams),
             n_in_streams=min(config.n_in_streams, init.n_out_streams),
             created_at_ns=self.kernel.now,
+            # RFC 8260 negotiation: interleave only if both sides offer it
+            idata=bool(config.interleaving and init.idata),
         )
         cookie.signature = self._sign(cookie)
         return cookie
@@ -236,6 +238,7 @@ class SCTPEndpoint:
                     initial_tsn=cookie.my_initial_tsn,
                     cookie=cookie,
                     addresses=tuple(self.host.addresses()),
+                    idata=cookie.idata,
                 ),
             ),
         )

@@ -1,0 +1,189 @@
+"""RFC 8260 user-message interleaving: MID allocation and reassembly.
+
+Legacy SCTP reassembly (``InboundStreams``) identifies the fragments of
+one message by *contiguous TSNs* between the B and E bits — which is
+exactly why a large message monopolises the association: its fragments
+must stay contiguous, so nothing else may transmit in between.  I-DATA
+chunks instead carry an explicit per-stream Message ID (MID) and a
+Fragment Sequence Number (FSN), so fragments of different messages can
+interleave freely on the wire and reassembly is keyed by
+``(sid, mid, unordered)``.
+
+Ordered delivery then follows the per-stream MID succession (0, 1, 2,
+... mod 2**32) the way legacy delivery follows the SSN; unordered
+messages deliver the moment they are complete.  Both MID spaces — the
+sender's allocator and the receiver's expectations — wrap at 32 bits.
+
+:class:`InterleavedReassembly` deliberately *mutates its owning*
+``InboundStreams``'s counters (buffered bytes, per-stream delivery and
+HOL-stall accounting, parked-message peak) so the association's metrics
+probes keep one unified view over both reassembly paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...util.blobs import ChunkList
+from .chunks import IDataChunk
+
+MID_MASK = 0xFFFFFFFF  # MIDs (and FSNs) are 32-bit, wrapping
+
+
+class OutboundInterleave:
+    """Per-stream MID allocators for the sending side.
+
+    Ordered and unordered messages draw from *separate* MID spaces
+    (RFC 8260 §2.1: the U bit is part of the message identity).
+    """
+
+    __slots__ = ("n_streams", "_next_mid", "_next_mid_unordered")
+
+    def __init__(self, n_streams: int) -> None:
+        self.n_streams = n_streams
+        self._next_mid = [0] * n_streams
+        self._next_mid_unordered = [0] * n_streams
+
+    def next_mid(self, sid: int, unordered: bool) -> int:
+        """Claim the next message id on ``sid`` (wraps mod 2**32)."""
+        if not 0 <= sid < self.n_streams:
+            raise ValueError(f"stream {sid} out of range (have {self.n_streams})")
+        counters = self._next_mid_unordered if unordered else self._next_mid
+        mid = counters[sid]
+        counters[sid] = (mid + 1) & MID_MASK
+        return mid
+
+    def seed_mid(self, sid: int, value: int, unordered: bool = False) -> None:
+        """Start ``sid``'s MID space at ``value`` (wraparound testing)."""
+        counters = self._next_mid_unordered if unordered else self._next_mid
+        counters[sid] = value & MID_MASK
+
+
+class InterleavedReassembly:
+    """I-DATA receive side, owned by (and accounting through) an
+    ``InboundStreams``."""
+
+    __slots__ = ("owner", "_partial", "_pending", "_next_mid", "_parked_at")
+
+    def __init__(self, owner) -> None:
+        self.owner = owner
+        # (sid, mid, unordered) -> [fragments by FSN, E-fragment FSN or None]
+        self._partial: Dict[Tuple[int, int, bool], list] = {}
+        # complete but out-of-MID-order ordered messages, per stream
+        self._pending: Dict[int, Dict[int, object]] = {}
+        self._next_mid = [0] * owner.n_streams
+        self._parked_at: Dict[Tuple[int, int], int] = {}  # (sid, mid) -> t_ns
+
+    def seed_mid(self, sid: int, value: int) -> None:
+        """Set the next expected ordered MID on ``sid`` (wraparound tests)."""
+        self._next_mid[sid] = value & MID_MASK
+
+    def on_idata(self, chunk: IDataChunk) -> List:
+        """Ingest one I-DATA chunk; returns messages now deliverable."""
+        from .streams import AssembledMessage
+
+        owner = self.owner
+        if not 0 <= chunk.sid < owner.n_streams:
+            raise ValueError(
+                f"inbound stream {chunk.sid} out of range (negotiated "
+                f"{owner.n_streams})"
+            )
+        owner.buffered_bytes += chunk.payload.nbytes
+        if chunk.begin and chunk.end:
+            message = AssembledMessage(
+                sid=chunk.sid,
+                ssn=0,
+                unordered=chunk.unordered,
+                ppid=chunk.ppid,
+                data=ChunkList([chunk.payload]),
+                first_tsn=chunk.tsn,
+                last_tsn=chunk.tsn,
+                mid=chunk.mid,
+            )
+            return self._offer_complete(message)
+
+        key = (chunk.sid, chunk.mid, chunk.unordered)
+        entry = self._partial.get(key)
+        if entry is None:
+            # [fragments by FSN, FSN of the E fragment]
+            entry = self._partial[key] = [{}, None]
+        frags = entry[0]
+        frags[chunk.fsn] = chunk
+        if chunk.end:
+            entry[1] = chunk.fsn
+        # complete once every FSN 0..E has arrived: the sender numbers
+        # fragments consecutively from 0 and the association dedupes by
+        # TSN, so a count detects completion without rescanning
+        e_fsn = entry[1]
+        if e_fsn is None or len(frags) != e_fsn + 1:
+            return []
+        san = owner._san_idata
+        if san is not None:
+            san.on_assembled(chunk.sid, chunk.mid, frags, e_fsn)
+        data = ChunkList()
+        first_tsn = last_tsn = frags[0].tsn
+        for fsn in range(e_fsn + 1):
+            frag = frags[fsn]
+            data.append(frag.payload)
+            if frag.tsn < first_tsn:
+                first_tsn = frag.tsn
+            if frag.tsn > last_tsn:
+                last_tsn = frag.tsn
+        head = frags[0]
+        del self._partial[key]
+        message = AssembledMessage(
+            sid=head.sid,
+            ssn=0,
+            unordered=head.unordered,
+            ppid=head.ppid,
+            data=data,
+            first_tsn=first_tsn,
+            last_tsn=last_tsn,
+            mid=head.mid,
+        )
+        return self._offer_complete(message)
+
+    def _offer_complete(self, message) -> List:
+        owner = self.owner
+        sid = message.sid
+        if message.unordered:
+            owner.buffered_bytes -= message.nbytes
+            owner.delivered_per_stream[sid] += 1
+            out = [message]
+            san = owner._san_idata
+            if san is not None:
+                san.on_deliver(out)
+            return out
+        pending = self._pending.setdefault(sid, {})
+        pending[message.mid] = message
+        clock = owner._clock
+        if clock is not None:
+            self._parked_at[(sid, message.mid)] = clock()
+            backlog = sum(len(p) for p in self._pending.values())
+            backlog += sum(len(p) for p in owner._pending.values())
+            if backlog > owner.parked_messages_max:
+                owner.parked_messages_max = backlog
+        out: List = []
+        nxt = self._next_mid[sid]
+        while nxt in pending:
+            msg = pending.pop(nxt)
+            nxt = (nxt + 1) & MID_MASK
+            owner.buffered_bytes -= msg.nbytes
+            owner.delivered_per_stream[sid] += 1
+            if clock is not None:
+                parked = self._parked_at.pop((sid, msg.mid), None)
+                if parked is not None:
+                    stall = clock() - parked
+                    owner.hol_stall_ns += stall
+                    owner.hol_stall_ns_per_stream[sid] += stall
+            out.append(msg)
+        self._next_mid[sid] = nxt
+        san = owner._san_idata
+        if san is not None:
+            san.on_deliver(out)
+        return out
+
+    @property
+    def has_undelivered(self) -> bool:
+        """I-DATA parked waiting for fragments or earlier MIDs."""
+        return bool(self._partial) or any(self._pending.values())

@@ -15,6 +15,7 @@ buffer cannot take the whole message.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import Callable, Deque, Dict, Optional
 
 from ...simkernel import Future
@@ -26,6 +27,20 @@ from .streams import AssembledMessage
 
 class MessageTooBig(ValueError):
     """Message exceeds the sctp_sendmsg limit (the send buffer size)."""
+
+
+def _apply_options(
+    config: SCTPConfig,
+    interleaving: Optional[bool],
+    scheduler: Optional[str],
+) -> SCTPConfig:
+    """Overlay the socket-level options onto a base config."""
+    overrides = {}
+    if interleaving is not None:
+        overrides["interleaving"] = interleaving
+    if scheduler is not None:
+        overrides["scheduler"] = scheduler
+    return replace(config, **overrides) if overrides else config
 
 
 class ReceivedMessage:
@@ -60,10 +75,15 @@ class OneToManySocket:
         endpoint: SCTPEndpoint,
         port: Optional[int] = None,
         config: Optional[SCTPConfig] = None,
+        *,
+        interleaving: Optional[bool] = None,
+        scheduler: Optional[str] = None,
     ) -> None:
         self.endpoint = endpoint
         self.kernel = endpoint.kernel
-        self.config = config or endpoint.default_config
+        self.config = _apply_options(
+            config or endpoint.default_config, interleaving, scheduler
+        )
         self.port = port if port is not None else endpoint.allocate_port()
         self._assocs: Dict[int, Association] = {}
         self._by_peer: Dict[tuple, int] = {}  # (addr, port) -> assoc_id
@@ -223,9 +243,14 @@ class OneToOneSocket:
         self,
         endpoint: SCTPEndpoint,
         config: Optional[SCTPConfig] = None,
+        *,
+        interleaving: Optional[bool] = None,
+        scheduler: Optional[str] = None,
     ) -> None:
         self.endpoint = endpoint
-        self.config = config or endpoint.default_config
+        self.config = _apply_options(
+            config or endpoint.default_config, interleaving, scheduler
+        )
         self.assoc: Optional[Association] = None
         self._inbox: Deque[ReceivedMessage] = deque()
         self._readers: Deque[Future] = deque()

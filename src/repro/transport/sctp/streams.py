@@ -14,14 +14,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ...analyze.sanitize import stream_sanitizer
+from ...analyze.sanitize import idata_sanitizer, stream_sanitizer
 from ...util.blobs import ChunkList
 from .chunks import DataChunk
 
 
 @dataclass(slots=True)
 class AssembledMessage:
-    """A whole user message ready for (or awaiting) stream delivery."""
+    """A whole user message ready for (or awaiting) stream delivery.
+
+    ``mid`` is None for legacy DATA messages (identity/order via ``ssn``)
+    and the RFC 8260 Message ID for I-DATA ones (``ssn`` is then 0 and
+    carries no ordering information).
+    """
 
     sid: int
     ssn: int
@@ -30,6 +35,7 @@ class AssembledMessage:
     data: ChunkList
     first_tsn: int
     last_tsn: int
+    mid: Optional[int] = None
 
     @property
     def nbytes(self) -> int:
@@ -75,16 +81,28 @@ class InboundStreams:
         self._clock = clock
         self._parked_at: Dict[Tuple[int, int], int] = {}  # (sid, ssn) -> t_ns
         self.hol_stall_ns = 0  # total time complete messages waited for order
+        self.hol_stall_ns_per_stream = [0] * n_streams  # same, by stream
         self.parked_messages_max = 0  # peak complete-but-undeliverable backlog
         self.delivered_per_stream = [0] * n_streams
         # per-stream SSN-order sanitizer; None unless REPRO_SANITIZE is on
         self._san = stream_sanitizer()
+        # RFC 8260 legality sanitizer, shared with the I-DATA path
+        self._san_idata = idata_sanitizer()
+        # I-DATA reassembly rides alongside (lazy import: interleave.py
+        # needs AssembledMessage from this module)
+        from .interleave import InterleavedReassembly
+
+        self.interleaved = InterleavedReassembly(self)
 
     def _key(self, chunk: DataChunk) -> Tuple[int, int, bool]:
         return (chunk.sid, chunk.ssn, chunk.unordered)
 
     def on_data(self, chunk: DataChunk) -> List[AssembledMessage]:
         """Ingest one DATA chunk; returns messages now deliverable, in order."""
+        if self._san_idata is not None:
+            self._san_idata.on_chunk(chunk)
+        if chunk.is_idata:
+            return self.interleaved.on_idata(chunk)
         if not 0 <= chunk.sid < self.n_streams:
             raise ValueError(
                 f"inbound stream {chunk.sid} out of range (negotiated "
@@ -167,7 +185,9 @@ class InboundStreams:
             if self._clock is not None:
                 parked = self._parked_at.pop((sid, msg.ssn), None)
                 if parked is not None:
-                    self.hol_stall_ns += self._clock() - parked
+                    stall = self._clock() - parked
+                    self.hol_stall_ns += stall
+                    self.hol_stall_ns_per_stream[sid] += stall
             out.append(msg)
         if self._san is not None:
             self._san.on_deliver(out)
@@ -175,5 +195,9 @@ class InboundStreams:
 
     @property
     def has_undelivered(self) -> bool:
-        """Data parked waiting for fragments or earlier SSNs."""
-        return bool(self._partial) or any(self._pending.values())
+        """Data parked waiting for fragments or earlier SSNs/MIDs."""
+        return (
+            bool(self._partial)
+            or any(self._pending.values())
+            or self.interleaved.has_undelivered
+        )

@@ -9,12 +9,15 @@
 """
 
 from .farm import FarmParams, FarmResult, run_farm
+from .interleave_mix import InterleaveMixResult, run_interleave_mix
 from .mpbench import PingPongResult, run_pingpong
 
 __all__ = [
     "FarmParams",
     "FarmResult",
+    "InterleaveMixResult",
     "PingPongResult",
     "run_farm",
+    "run_interleave_mix",
     "run_pingpong",
 ]

@@ -127,3 +127,18 @@ def test_report_json_schema():
 def test_repo_sources_are_clean():
     """The tree itself must stay lint-clean — the same gate CI runs."""
     assert lint_paths(["src/repro"]) == []
+
+
+def test_nondeterministic_scheduler_is_caught():
+    """Regression: a stream scheduler that iterates a set to pick the
+    next stream ties transmission order to hash order — exactly the
+    nondeterminism AN103 exists to catch.  The shipped schedulers use
+    lists indexed by stream id and must stay clean."""
+    planted = (
+        "def choose(queues):\n"
+        "    backlogged = {sid for sid, q in queues.items() if q}\n"
+        "    for sid in backlogged:\n"
+        "        return sid\n"
+    )
+    assert rules_of(lint_source(planted, "sched.py")) == ["AN103"]
+    assert lint_paths(["src/repro/transport/sctp/sched.py"]) == []

@@ -83,9 +83,18 @@ def test_filter_schedule_sensitive():
         "kernel.heap_compactions": 3,
         "kernel.now_ns": 42,
         "tcp.segments_sent": 9,
+        # occupancy histograms sample at enqueue instants: same-timestamp
+        # enqueue order shows through, so they are schedule-sensitive
+        "net.link.h0p0->sw0.queue_occupancy_bytes/le_1500": 7,
+        "net.link.h0p0->sw0.queue_occupancy_bytes/sum": 9000,
+        "net.link.h0p0->sw0.tx_bytes": 123,
     }
     kept = filter_schedule_sensitive(snapshot)
-    assert kept == {"kernel.now_ns": 42, "tcp.segments_sent": 9}
+    assert kept == {
+        "kernel.now_ns": 42,
+        "tcp.segments_sent": 9,
+        "net.link.h0p0->sw0.tx_bytes": 123,
+    }
 
 
 def test_perturb_result_reporting():

@@ -6,6 +6,7 @@ import pytest
 
 from repro.analyze.sanitize import (
     AssociationSanitizer,
+    IDataSanitizer,
     InvariantViolation,
     KernelSanitizer,
     OptionBSanitizer,
@@ -13,6 +14,7 @@ from repro.analyze.sanitize import (
     StreamOrderSanitizer,
     TCPConnectionSanitizer,
     kernel_sanitizer,
+    idata_sanitizer,
     rpi_sanitizer,
     sanitized,
     sanitizers_enabled,
@@ -28,6 +30,7 @@ from repro.analyze.sanitize import (
 def test_factories_return_none_when_disabled():
     with sanitized(False):
         assert not sanitizers_enabled()
+        assert idata_sanitizer() is None
         assert kernel_sanitizer(object()) is None
         assert tcp_sanitizer() is None
         assert sctp_sanitizer() is None
@@ -43,6 +46,7 @@ def test_factories_return_checkers_when_enabled():
         assert isinstance(sctp_sanitizer(), AssociationSanitizer)
         assert isinstance(stream_sanitizer(), StreamOrderSanitizer)
         assert isinstance(rpi_sanitizer(), RPISanitizer)
+        assert isinstance(idata_sanitizer(), IDataSanitizer)
 
 
 def test_sanitized_context_restores_previous_state():
@@ -266,6 +270,58 @@ def test_stream_ssn_order():
     san.on_deliver([msg(0, 2), msg(1, 7, unordered=True)])  # unordered exempt
     with pytest.raises(InvariantViolation, match="SSN order"):
         san.on_deliver([msg(0, 4)])  # expected SSN 3
+
+
+def test_stream_ssn_sanitizer_skips_idata_messages():
+    """I-DATA messages always carry ssn=0; only the MID rules apply."""
+    san = StreamOrderSanitizer()
+    idata = lambda mid: SimpleNamespace(  # noqa: E731
+        sid=0, ssn=0, unordered=False, mid=mid
+    )
+    san.on_deliver([idata(0), idata(1), idata(2)])  # ssn 0 repeats: exempt
+
+
+def _idchunk(tsn, is_idata=True):
+    return SimpleNamespace(tsn=tsn, is_idata=is_idata)
+
+
+def test_idata_mode_exclusivity():
+    san = IDataSanitizer()
+    san.on_chunk(_idchunk(1))
+    san.on_chunk(_idchunk(2))
+    with pytest.raises(InvariantViolation, match="exclusivity"):
+        san.on_chunk(_idchunk(3, is_idata=False))
+    san = IDataSanitizer()
+    san.on_chunk(_idchunk(1, is_idata=False))
+    with pytest.raises(InvariantViolation, match="exclusivity"):
+        san.on_chunk(_idchunk(2, is_idata=True))
+
+
+def test_idata_fsn_contiguity():
+    frag = lambda begin=False, end=False: SimpleNamespace(  # noqa: E731
+        begin=begin, end=end
+    )
+    san = IDataSanitizer()
+    san.on_assembled(0, 0, {0: frag(begin=True), 1: frag(end=True)}, 1)
+    with pytest.raises(InvariantViolation, match="FSN contiguity"):
+        san.on_assembled(0, 1, {0: frag(begin=True), 2: frag(end=True)}, 2)
+    with pytest.raises(InvariantViolation, match="B bit"):
+        san.on_assembled(0, 2, {0: frag(), 1: frag(end=True)}, 1)
+    with pytest.raises(InvariantViolation, match="E bit"):
+        san.on_assembled(0, 3, {0: frag(begin=True), 1: frag()}, 1)
+
+
+def test_idata_per_stream_mid_order():
+    msg = lambda sid, mid, unordered=False: SimpleNamespace(  # noqa: E731
+        sid=sid, mid=mid, unordered=unordered
+    )
+    san = IDataSanitizer()
+    # the first delivery anchors the expectation (wraparound seeding)
+    san.on_deliver([msg(0, 0xFFFFFFFF)])
+    san.on_deliver([msg(0, 0), msg(1, 7)])  # wraps; stream 1 anchors at 7
+    san.on_deliver([msg(0, 1), msg(1, 8, unordered=True)])  # unordered exempt
+    with pytest.raises(InvariantViolation, match="MID order"):
+        san.on_deliver([msg(0, 3)])  # expected MID 2
 
 
 # ---------------------------------------------------------------------------

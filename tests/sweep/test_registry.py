@@ -44,6 +44,7 @@ def test_resolve_fills_defaults_in_axis_then_free_order():
     )
     assert list(resolved) == [
         "protocol", "size", "loss", "seed", "iterations", "scenario",
+        "interleaving", "scheduler",
     ]
     assert resolved["size"] == 512 and resolved["loss"] == 0.01  # coerced
     assert resolved["seed"] == 1
