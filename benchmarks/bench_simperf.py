@@ -11,13 +11,15 @@ compaction, slotted packet/chunk objects) against silent regression:
 * ``link_packets``    — packets/sec through a saturated Link
 * ``fig8_cell``       — wall seconds for one end-to-end fig8 matrix cell
                         (both protocols, 16 KiB ping-pong)
+* ``large_world``     — events/sec on a 16-rank, 4-pod halo-exchange
+                        world (the PDES-shardable topology, run serially)
 
 Run standalone (pytest never collects this file; it has no test_*
 functions)::
 
     PYTHONPATH=src python benchmarks/bench_simperf.py --json BENCH_simperf.json
     PYTHONPATH=src python benchmarks/bench_simperf.py \
-        --baseline benchmarks/simperf_baseline.json --max-regression 0.30
+        --baseline benchmarks/simperf_baseline.json
 
 Scores are *normalized by a calibration loop* (a fixed pure-Python
 workload timed on the same machine in the same process), so the
@@ -38,6 +40,7 @@ from repro.core.world import World, WorldConfig
 from repro.network.link import Link
 from repro.network.packet import Packet
 from repro.simkernel import Kernel
+from repro.workloads.halo import make_halo
 from repro.workloads.mpbench import make_pingpong
 
 SCHEMA = 1
@@ -140,11 +143,24 @@ def bench_fig8_cell(size: int = 16384, iterations: int = 8):
     return events, time.perf_counter() - start
 
 
+def bench_large_world(n_procs: int = 16, pods: int = 4, size: int = 4096, iterations: int = 3):
+    """A large pod-structured world: 16-rank halo exchange across 4 pod
+    switches and their trunk mesh, run serially.  This is the exact world
+    shape the sharded runner (``repro.bench.pdes``) partitions, so the
+    score is the single-process floor a parallel run has to beat.
+    """
+    start = time.perf_counter()
+    world = World(WorldConfig(n_procs=n_procs, rpi="sctp", seed=1, n_pods=pods))
+    world.run(make_halo(size, iterations), limit_ns=LIMIT_NS)
+    return world.kernel.events_processed, time.perf_counter() - start
+
+
 BENCHES: Dict[str, Callable] = {
     "kernel_events": bench_kernel_events,
     "timer_churn": bench_timer_churn,
     "link_packets": bench_link_packets,
     "fig8_cell": bench_fig8_cell,
+    "large_world": bench_large_world,
 }
 
 
@@ -205,7 +221,7 @@ def main(argv: list[str]) -> int:
         help="gate normalized scores against this committed baseline",
     )
     parser.add_argument(
-        "--max-regression", type=float, default=0.30, metavar="FRAC",
+        "--max-regression", type=float, default=0.10, metavar="FRAC",
         help="fail if any normalized score drops more than FRAC below baseline",
     )
     parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")

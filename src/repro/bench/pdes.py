@@ -1,0 +1,109 @@
+"""CLI for the sharded (conservative parallel DES) runner.
+
+One world, ``--shards N`` worker processes::
+
+    python -m repro.bench.pdes --workload halo --n-procs 16 --pods 4 \\
+        --shards 4 --msg-bytes 8192 --iters 4 --horizon-s 2 --json out.json
+
+The ``--json`` payload contains only shard-invariant data (config echo,
+per-rank results, total events, canonical metrics), so running the same
+world with ``--shards 1`` and ``--shards N`` must produce byte-identical
+files — that equivalence is gated in CI.  Wall-clock and round counts go
+to stdout, where nondeterminism is allowed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+from ..core.world import WorldConfig
+from ..simkernel import SECOND
+from ..simkernel.pdes import run_sharded
+from ..workloads.halo import make_halo
+from ..workloads.mpbench import make_pingpong
+
+SCHEMA = 1
+
+
+def build_app(args: argparse.Namespace):
+    if args.workload == "halo":
+        return make_halo(args.msg_bytes, args.iters)
+    if args.workload == "pingpong":
+        return make_pingpong(args.msg_bytes, args.iters)
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.pdes",
+        description="run one world across N shard processes (conservative PDES)",
+    )
+    parser.add_argument("--workload", default="halo", choices=("halo", "pingpong"))
+    parser.add_argument("--rpi", default="sctp", choices=("sctp", "tcp"))
+    parser.add_argument("--n-procs", type=int, default=8)
+    parser.add_argument("--pods", type=int, default=1, help="pod switches (1 = flat)")
+    parser.add_argument("--shards", type=int, default=1, help="worker processes")
+    parser.add_argument("--msg-bytes", type=int, default=4096)
+    parser.add_argument("--iters", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--loss", type=float, default=0.0)
+    parser.add_argument(
+        "--horizon-s",
+        type=float,
+        default=5.0,
+        help="virtual-time horizon; both legs of a parity pair must match",
+    )
+    parser.add_argument("--json", help="write the shard-invariant result JSON here")
+    args = parser.parse_args(argv)
+
+    config = WorldConfig(
+        n_procs=args.n_procs,
+        rpi=args.rpi,
+        seed=args.seed,
+        loss_rate=args.loss,
+        n_pods=args.pods,
+    )
+    app = build_app(args)
+    result = run_sharded(
+        app,
+        config=config,
+        horizon_ns=int(args.horizon_s * SECOND),
+        n_shards=args.shards,
+    )
+
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "workload": args.workload,
+        "rpi": args.rpi,
+        "n_procs": args.n_procs,
+        "pods": args.pods,
+        "msg_bytes": args.msg_bytes,
+        "iters": args.iters,
+        "seed": args.seed,
+        "loss": args.loss,
+        "horizon_ns": result.horizon_ns,
+        "results": result.results,
+        "events_processed": result.events_processed,
+        "metrics": result.metrics,
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    ev_per_s = result.events_processed / result.wall_s if result.wall_s else 0.0
+    print(
+        f"shards={result.n_shards} rounds={result.rounds} "
+        f"events={result.events_processed:,} wall={result.wall_s:.2f}s "
+        f"({ev_per_s:,.0f} ev/s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,14 @@ class ClusterConfig:
 
     n_hosts: int = 8
     n_paths: int = 1  # the paper's comparison benches run single-homed
+    # Pod structure (datacenter-style): hosts are split into ``n_pods``
+    # contiguous groups, each with its own switch per path, and the pod
+    # switches of one path form a full mesh of trunk links.  ``n_pods=1``
+    # reproduces the paper's flat single-switch testbed exactly (same
+    # component names, same wiring).  Pods are also the sharding unit for
+    # conservative parallel DES: the trunks are the only links crossing
+    # pod boundaries, so their propagation delay is the PDES lookahead.
+    n_pods: int = 1
     bandwidth_bps: int = GBIT_PER_S
     prop_delay_ns: int = 5 * MICROSECOND  # host <-> switch, one way
     # Per-output-port buffering.  Must exceed n_hosts * rcvbuf (220 KiB) so
@@ -44,6 +52,16 @@ class ClusterConfig:
     def address(self, host_index: int, path: int = 0) -> str:
         """Deterministic addressing: path p, host h -> ``10.p.0.(h+1)``."""
         return f"10.{path}.0.{host_index + 1}"
+
+    def pod_of(self, host_index: int) -> int:
+        """Pod of a host: contiguous balanced partition of the host range."""
+        return host_index * self.n_pods // self.n_hosts
+
+    def switch_name(self, path: int, pod: int) -> str:
+        """Switch naming; flat clusters keep the historical ``sw{p}``."""
+        if self.n_pods == 1:
+            return f"sw{path}"
+        return f"sw{path}pod{pod}"
 
 
 @dataclass
@@ -76,13 +94,23 @@ class Cluster:
         """Arm a fault-injection timeline onto this cluster's pipes/links."""
         return scenario.arm(self.kernel, self.pipes, links=self.links)
 
+    def pod_of(self, host_index: int) -> int:
+        """Pod (sharding unit) a host belongs to."""
+        return self.config.pod_of(host_index)
+
+    def switch_for(self, path: int, pod: int = 0) -> Switch:
+        """The switch serving one (path, pod)."""
+        return self.switches[path * self.config.n_pods + pod]
+
     def fail_path(self, path: int) -> None:
-        """Take an entire subnet down (kills its switch)."""
-        self.switches[path].set_up(False)
+        """Take an entire subnet down (kills its switches)."""
+        for pod in range(self.config.n_pods):
+            self.switch_for(path, pod).set_up(False)
 
     def restore_path(self, path: int) -> None:
         """Bring a previously failed subnet back."""
-        self.switches[path].set_up(True)
+        for pod in range(self.config.n_pods):
+            self.switch_for(path, pod).set_up(True)
 
     def total_dropped(self) -> int:
         """Packets dropped by all Dummynet pipes (not queue drops)."""
@@ -96,6 +124,8 @@ def build_cluster(kernel: Kernel, config: Optional[ClusterConfig] = None) -> Clu
         raise ValueError("cluster needs at least one host")
     if cfg.n_paths < 1:
         raise ValueError("cluster needs at least one path")
+    if not 1 <= cfg.n_pods <= cfg.n_hosts:
+        raise ValueError(f"n_pods must be in [1, n_hosts]: {cfg.n_pods}")
 
     hosts = [Host(kernel, f"node{h}", cfg.cost_model) for h in range(cfg.n_hosts)]
     switches: List[Switch] = []
@@ -103,19 +133,24 @@ def build_cluster(kernel: Kernel, config: Optional[ClusterConfig] = None) -> Clu
     links: Dict[str, Link] = {}
 
     for p in range(cfg.n_paths):
-        switch = Switch(f"sw{p}")
-        switches.append(switch)
-        sw_scope = kernel.metrics.scope(f"net.switch.sw{p}")
-        sw_scope.probe("forwarded", lambda s=switch: s.forwarded)
-        sw_scope.probe("unroutable", lambda s=switch: s.unroutable)
+        pod_switches: List[Switch] = []
+        for pod in range(cfg.n_pods):
+            name = cfg.switch_name(p, pod)
+            switch = Switch(name)
+            switches.append(switch)
+            pod_switches.append(switch)
+            sw_scope = kernel.metrics.scope(f"net.switch.{name}")
+            sw_scope.probe("forwarded", lambda s=switch: s.forwarded)
+            sw_scope.probe("unroutable", lambda s=switch: s.unroutable)
         for h, host in enumerate(hosts):
+            switch = pod_switches[cfg.pod_of(h)]
             addr = cfg.address(h, p)
             nic = NIC(addr)
             host.add_interface(nic)
 
             up = Link(
                 kernel,
-                f"h{h}p{p}->sw{p}",
+                f"h{h}p{p}->{switch.name}",
                 cfg.bandwidth_bps,
                 cfg.prop_delay_ns,
                 cfg.queue_bytes,
@@ -123,7 +158,7 @@ def build_cluster(kernel: Kernel, config: Optional[ClusterConfig] = None) -> Clu
             )
             down = Link(
                 kernel,
-                f"sw{p}->h{h}p{p}",
+                f"{switch.name}->h{h}p{p}",
                 cfg.bandwidth_bps,
                 cfg.prop_delay_ns,
                 cfg.queue_bytes,
@@ -142,6 +177,25 @@ def build_cluster(kernel: Kernel, config: Optional[ClusterConfig] = None) -> Clu
             )
             pipes[f"h{h}p{p}"] = pipe
             nic.connect(pipe)
+        # full-mesh trunks between the pod switches of this path: the
+        # sending pod's switch routes every address of the remote pod
+        # down one trunk link (Switch.attach maps many addrs -> one Link)
+        for a, src_sw in enumerate(pod_switches):
+            for b, dst_sw in enumerate(pod_switches):
+                if a == b:
+                    continue
+                trunk = Link(
+                    kernel,
+                    f"{src_sw.name}->{dst_sw.name}",
+                    cfg.bandwidth_bps,
+                    cfg.prop_delay_ns,
+                    cfg.queue_bytes,
+                    sink=dst_sw.ingress(),
+                )
+                links[trunk.name] = trunk
+                for h in range(cfg.n_hosts):
+                    if cfg.pod_of(h) == b:
+                        src_sw.attach(cfg.address(h, p), trunk)
 
     return Cluster(
         config=cfg,

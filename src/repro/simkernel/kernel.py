@@ -7,12 +7,29 @@ identical event sequences.
 
 Hot-path design (the simulator spends most of its wall-clock time here):
 
+* heap entries are single flat tuples ``(when, seq ^ mask, obj, args)``
+  where ``obj`` is either a pooled :class:`Timer` (cancellable path) or a
+  bare callable (fire-and-forget path).  One allocation per scheduled
+  event — the nested ``(fn, args)`` payload tuple of earlier revisions is
+  gone.  (A parallel-array core with packed integer keys and slot indices
+  was prototyped and measured *slower* in CPython: the big-int shift/mask
+  temporaries needed to pack ``when``/``seq``/``slot`` into one key cost
+  more than the single tuple they replace — see DESIGN.md § event-core
+  layout for the numbers.  The free-list idea survives as the Timer and
+  Packet object pools.)
 * two scheduling paths share one heap and one sequence counter, so event
   *order* is identical whichever a caller uses: :meth:`Kernel.call_at`
   returns a cancellable :class:`Timer` handle, while :meth:`Kernel.post_at`
-  is the fire-and-forget path that pushes a bare ``(fn, args)`` tuple —
-  no handle object is ever allocated, which is what the per-packet
-  machinery (links, host CPUs, pipes) uses;
+  is the fire-and-forget path the per-packet machinery (links, host CPUs,
+  pipes) uses;
+* :class:`Timer` objects are recycled through a free-list pool: a timer
+  is returned to the pool when its heap entry is consumed (fired, or
+  popped/compacted after cancellation), so steady-state retransmission
+  churn allocates no Timer objects at all.  The contract is that a Timer
+  handle is *dead* once it has fired or been cancelled — holding a stale
+  handle and cancelling it later is a no-op until the object is reused,
+  and undefined after.  ``REPRO_SANITIZE=1`` poisons pooled timers to
+  catch use-after-recycle (see :mod:`repro.analyze.sanitize`).
 * live-timer accounting is O(1): a maintained counter is incremented on
   schedule and decremented on fire/cancel, so the ``pending_timers``
   metrics probe never scans the heap;
@@ -21,6 +38,12 @@ Hot-path design (the simulator spends most of its wall-clock time here):
   so a long idle simulation that cancelled thousands of retransmission
   timers doesn't drag them along forever.  Compaction preserves event
   order exactly because heap keys ``(when, seq)`` are unique.
+* the sequence counter is renumbered (order-preserving) when it reaches
+  :data:`Kernel.SEQ_LIMIT` under the production FIFO mask, so keys stay
+  small machine integers over arbitrarily long runs.  Under a non-zero
+  perturbation mask the counter simply keeps growing — XOR stays a
+  bijection at any width, so correctness is unaffected and only
+  perturbation runs (which are short by construction) pay big-int keys.
 """
 
 from __future__ import annotations
@@ -30,7 +53,7 @@ import random
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Coroutine, Iterable, Optional
 
-from ..analyze.sanitize import kernel_sanitizer
+from ..analyze.sanitize import POOL_POISON, kernel_sanitizer
 from ..metrics.registry import MetricsRegistry
 from .futures import _PENDING, Future, Task
 
@@ -48,7 +71,14 @@ DEFAULT_TIEBREAK_MASK = 0
 
 
 class Timer:
-    """Handle for a scheduled callback; supports O(1) cancellation."""
+    """Handle for a scheduled callback; supports O(1) cancellation.
+
+    Timers are pooled: once a timer has fired or been cancelled the
+    handle is dead and the object may be reused for a later
+    ``call_at``/``call_after``.  Callers must drop (or null out) handles
+    on fire/cancel — every transport in this repo does — and never
+    cancel a handle that might already have fired and been reused.
+    """
 
     __slots__ = ("when", "fn", "args", "cancelled", "_kernel")
 
@@ -83,6 +113,11 @@ class Kernel:
     # least COMPACT_MIN_HEAP entries and more than half are cancelled
     COMPACT_MIN_HEAP = 1024
 
+    # sequence-counter renumber threshold: far beyond any realistic event
+    # count, and overridable per instance so tests can exercise the
+    # order-preserving renumbering cheaply
+    SEQ_LIMIT = 1 << 62
+
     def __init__(
         self,
         seed: int = 0,
@@ -91,8 +126,8 @@ class Kernel:
     ) -> None:
         self.seed = seed
         self._now = 0
-        # entries are (when, seq ^ mask, Timer) from call_at or (when,
-        # seq ^ mask, (fn, args)) from post_at; (when, seq ^ mask) is
+        # entries are flat (when, seq ^ mask, Timer, None) from call_at or
+        # (when, seq ^ mask, fn, args) from post_at; (when, seq ^ mask) is
         # unique so the third element is never compared
         self._heap: list[tuple] = []
         self._seq = 0
@@ -102,10 +137,13 @@ class Kernel:
         # None unless REPRO_SANITIZE / enable_sanitizers() is on, so the
         # run loops pay one is-None test per event (the metrics pattern)
         self._san = kernel_sanitizer(self)
+        # Timer free list: dead handles awaiting reuse (never scheduled)
+        self._timer_pool: list[Timer] = []
         self._events_processed = 0
         self._live_events = 0  # scheduled, not yet fired or cancelled
         self._cancelled_in_heap = 0  # lazy-deleted entries awaiting pop
         self._compactions = 0
+        self._seq_renumbers = 0
         self._tasks: list[Task] = []
         self._rng_cache: dict[str, random.Random] = {}
         # The kernel owns the metrics registry every layer registers into.
@@ -151,13 +189,39 @@ class Kernel:
         return stream
 
     # -- scheduling ------------------------------------------------------
+    def _acquire_timer(self, when: int, fn: Callable, args: tuple) -> Timer:
+        """A Timer bound to this kernel, recycled from the pool if possible."""
+        pool = self._timer_pool
+        if pool:
+            timer = pool.pop()
+            if self._san is not None and timer.fn is not POOL_POISON:
+                self._san.pool_corruption("timer", timer)
+            timer.when = when
+            timer.fn = fn
+            timer.args = args
+            timer.cancelled = False
+            timer._kernel = self
+            return timer
+        return Timer(when, fn, args, self)
+
+    def _recycle_timer(self, timer: Timer) -> None:
+        """Return a consumed (fired or cancel-popped) handle to the pool."""
+        timer.cancelled = True  # dead: a stale cancel() is a no-op
+        timer._kernel = None
+        if self._san is not None:
+            timer.fn = POOL_POISON
+            timer.args = POOL_POISON
+        self._timer_pool.append(timer)
+
     def call_at(self, when: int, fn: Callable, *args: Any) -> Timer:
         """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        timer = Timer(when, fn, args, self)
+        timer = self._acquire_timer(when, fn, args)
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (when, seq ^ self._seq_mask, timer))
+        if seq >= self.SEQ_LIMIT and not self._seq_mask:
+            self._seq = seq = self._renumber_seq()
+        heappush(self._heap, (when, seq ^ self._seq_mask, timer, None))
         self._live_events += 1
         hist = self._heap_depth_hist
         if hist is not None:
@@ -169,9 +233,11 @@ class Kernel:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         # body of call_at inlined (minus the past-check: now+delay >= now)
-        timer = Timer(self._now + delay, fn, args, self)
+        timer = self._acquire_timer(self._now + delay, fn, args)
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (timer.when, seq ^ self._seq_mask, timer))
+        if seq >= self.SEQ_LIMIT and not self._seq_mask:
+            self._seq = seq = self._renumber_seq()
+        heappush(self._heap, (timer.when, seq ^ self._seq_mask, timer, None))
         self._live_events += 1
         hist = self._heap_depth_hist
         if hist is not None:
@@ -182,14 +248,16 @@ class Kernel:
         """Fire-and-forget :meth:`call_at`: no cancellable handle.
 
         The cheap-construction scheduling path for high-churn callers
-        (per-packet link/CPU completions) that never cancel: it allocates
-        one tuple instead of a :class:`Timer`.  Ordering is identical to
+        (per-packet link/CPU completions) that never cancel: one flat
+        heap tuple is the only allocation.  Ordering is identical to
         ``call_at`` — both share the clock and sequence counter.
         """
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (when, seq ^ self._seq_mask, (fn, args)))
+        if seq >= self.SEQ_LIMIT and not self._seq_mask:
+            self._seq = seq = self._renumber_seq()
+        heappush(self._heap, (when, seq ^ self._seq_mask, fn, args))
         self._live_events += 1
         hist = self._heap_depth_hist
         if hist is not None:
@@ -205,7 +273,9 @@ class Kernel:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (self._now + delay, seq ^ self._seq_mask, (fn, args)))
+        if seq >= self.SEQ_LIMIT and not self._seq_mask:
+            self._seq = seq = self._renumber_seq()
+        heappush(self._heap, (self._now + delay, seq ^ self._seq_mask, fn, args))
         self._live_events += 1
         hist = self._heap_depth_hist
         if hist is not None:
@@ -268,18 +338,54 @@ class Kernel:
         Order-preserving: heap keys ``(when, seq)`` are unique, so any
         valid heap over the surviving entries pops in the same total
         order.  In-place (slice assignment) so a ``run()`` loop holding a
-        reference to the heap list sees the compacted state.
+        reference to the heap list sees the compacted state.  The Timer
+        handles behind the dropped entries go back to the pool.
         """
-        self._heap[:] = [
-            entry
-            for entry in self._heap
-            if type(entry[2]) is not Timer or not entry[2].cancelled
-        ]
+        survivors = []
+        append = survivors.append
+        recycle = self._recycle_timer
+        for entry in self._heap:
+            obj = entry[2]
+            if type(obj) is Timer and obj.cancelled:
+                recycle(obj)
+            else:
+                append(entry)
+        self._heap[:] = survivors
         heapify(self._heap)
         self._cancelled_in_heap = 0
         self._compactions += 1
 
+    def _renumber_seq(self) -> int:
+        """Compact the sequence space, preserving pop order; new top seq.
+
+        Only reached under the production FIFO mask (``_seq_mask == 0``):
+        queued entries are re-keyed ``1..n`` in pop order (a sorted list
+        satisfies the heap property, so no re-heapify is needed) and the
+        counter restarts at ``n + 1``, which keeps every future key above
+        every queued key — FIFO tie-breaking is exactly preserved.  Under
+        a non-zero perturbation mask the caller skips renumbering: XOR is
+        a bijection at any integer width, so ever-growing sequence
+        numbers stay correct (merely big-int slow), while renumbering
+        could collide re-keyed entries with future masked keys.
+        """
+        entries = sorted(self._heap)
+        self._heap[:] = [
+            (entry[0], i, entry[2], entry[3]) for i, entry in enumerate(entries, 1)
+        ]
+        self._seq_renumbers += 1
+        return len(entries) + 1
+
     # -- running ---------------------------------------------------------
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the earliest queued entry, or None when idle.
+
+        Conservative: a lazily-cancelled head counts (its timestamp is a
+        lower bound on the next real event), which is exactly what the
+        parallel-DES lookahead computation needs.
+        """
+        heap = self._heap
+        return heap[0][0] if heap else None
+
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Process events until the heap drains, ``until`` is reached, or
         ``max_events`` fire.  Returns the number of events processed."""
@@ -298,13 +404,16 @@ class Kernel:
                 if type(obj) is Timer:
                     if obj.cancelled:
                         self._cancelled_in_heap -= 1
+                        self._recycle_timer(obj)
                         continue
-                    obj._kernel = None  # fired: later cancel() is a no-op
                     fn = obj.fn
                     args = obj.args
-                    obj.fn, obj.args = None, ()  # break refcycles early
+                    if san is not None and fn is POOL_POISON:
+                        san.pool_corruption("timer", obj)
+                    self._recycle_timer(obj)
                 else:
-                    fn, args = obj
+                    fn = obj
+                    args = entry[3]
                 self._live_events -= 1
                 if san is not None:
                     san.on_fire(when)
@@ -341,17 +450,19 @@ class Kernel:
                             f"event heap drained at t={self._now}ns but {fut!r} "
                             "is still pending (simulation deadlock)"
                         )
-                    when, _seq, obj = pop(heap)
+                    when, _seq, obj, args = pop(heap)
                     if type(obj) is Timer:
                         if obj.cancelled:
                             self._cancelled_in_heap -= 1
+                            self._recycle_timer(obj)
                             continue
-                        obj._kernel = None  # fired: later cancel() is a no-op
                         fn = obj.fn
                         args = obj.args
-                        obj.fn, obj.args = None, ()  # break refcycles early
+                        if san is not None and fn is POOL_POISON:
+                            san.pool_corruption("timer", obj)
+                        self._recycle_timer(obj)
                     else:
-                        fn, args = obj
+                        fn = obj
                     self._live_events -= 1
                     if san is not None:
                         san.on_fire(when)
@@ -376,13 +487,16 @@ class Kernel:
                 if type(obj) is Timer:
                     if obj.cancelled:
                         self._cancelled_in_heap -= 1
+                        self._recycle_timer(obj)
                         continue
-                    obj._kernel = None  # fired: later cancel() is a no-op
                     fn = obj.fn
                     args = obj.args
-                    obj.fn, obj.args = None, ()  # break refcycles early
+                    if san is not None and fn is POOL_POISON:
+                        san.pool_corruption("timer", obj)
+                    self._recycle_timer(obj)
                 else:
-                    fn, args = obj
+                    fn = obj
+                    args = entry[3]
                 self._live_events -= 1
                 if san is not None:
                     san.on_fire(entry[0])
@@ -406,6 +520,11 @@ class Kernel:
     def heap_compactions(self) -> int:
         """Times the timer heap was compacted (for diagnostics/tests)."""
         return self._compactions
+
+    @property
+    def seq_renumbers(self) -> int:
+        """Times the sequence counter was renumbered (for diagnostics/tests)."""
+        return self._seq_renumbers
 
     def failed_tasks(self) -> Iterable[Task]:
         """Tasks that completed with an exception (useful in test asserts)."""

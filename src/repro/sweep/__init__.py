@@ -28,6 +28,7 @@ from .report import (
     END_MARK,
     append_trajectory,
     build_entry,
+    derive_summaries,
     gate_simperf,
     load_trajectory,
     render_trend_table,
@@ -52,6 +53,7 @@ __all__ = [
     "cell_id",
     "code_version",
     "current_scale",
+    "derive_summaries",
     "dumps_result",
     "gate_simperf",
     "load_spec",

@@ -679,10 +679,7 @@ class Association:
         src = self._source_for(dest_addr)
         self.stats.packets_sent += 1
         self.host.send(
-            Packet(
-                src=src, dst=dest_addr, proto="sctp", payload=pkt,
-                wire_size=pkt.wire_size(),
-            )
+            Packet.acquire(src, dest_addr, "sctp", pkt, pkt.wire_size())
         )
 
     def _source_for(self, dest_addr: str) -> str:

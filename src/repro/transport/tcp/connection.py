@@ -625,12 +625,8 @@ class TCPConnection:
 
     def _transmit(self, seg: TCPSegment) -> None:
         self.stats.segments_sent += 1
-        packet = Packet(
-            src=self.local_addr,
-            dst=self.remote_addr,
-            proto="tcp",
-            payload=seg,
-            wire_size=seg.wire_size(),
+        packet = Packet.acquire(
+            self.local_addr, self.remote_addr, "tcp", seg, seg.wire_size()
         )
         self.host.send(packet)
 

@@ -115,11 +115,14 @@ class TCPEndpoint:
             # Internet checksum failure: the segment never reaches the
             # connection (silently discarded, recovered by retransmission).
             self.checksum_drops += 1
+            packet.release()
             return
         seg: TCPSegment = packet.payload
         key = (seg.dst_port, packet.src, seg.src_port)
         conn = self._conns.get(key)
         if conn is not None:
+            # the datagram terminates here: only the segment travels on
+            packet.release()
             conn.on_segment(seg)
             return
         hooks = self._listeners.get(seg.dst_port)
@@ -133,11 +136,13 @@ class TCPEndpoint:
                 config=hooks.config or self.default_config,
             )
             self._conns[key] = conn
+            packet.release()
             hooks.on_new_connection(conn)
             conn.open_passive(seg)
             return
         if not seg.has(RST):
             self._send_rst(packet, seg)
+        packet.release()
 
     def _send_rst(self, packet: Packet, seg: TCPSegment) -> None:
         rst = TCPSegment(
@@ -149,12 +154,8 @@ class TCPEndpoint:
             window=0,
         )
         self.host.send(
-            Packet(
-                src=packet.dst,
-                dst=packet.src,
-                proto="tcp",
-                payload=rst,
-                wire_size=IP_HEADER + TCP_HEADER,
+            Packet.acquire(
+                packet.dst, packet.src, "tcp", rst, IP_HEADER + TCP_HEADER
             )
         )
 

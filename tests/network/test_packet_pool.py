@@ -1,0 +1,92 @@
+"""Packet free-list pool: acquire/release lifecycle, double-release and
+hand-built safety, sanitize-mode poisoning."""
+
+import pytest
+
+from repro.analyze.sanitize import POOL_POISON, sanitized
+from repro.network.packet import Packet, _pool
+
+
+def _drain_pool():
+    """Empty the process-global free list so identity asserts are exact."""
+    _pool.clear()
+
+
+def test_acquire_release_reuses_the_object():
+    _drain_pool()
+    first = Packet.acquire("10.0.0.1", "10.0.0.2", "tcp", "seg", 100)
+    first_id = first.pkt_id
+    first.release()
+    assert _pool == [first]
+    second = Packet.acquire("10.0.0.2", "10.0.0.1", "sctp", "pkt", 60)
+    assert second is first  # recycled, not reallocated
+    assert second.src == "10.0.0.2" and second.proto == "sctp"
+    assert second.wire_size == 60 and second.payload == "pkt"
+    assert second.pkt_id != first_id  # ids stay unique across reuse
+    assert not second.corrupted
+    second.release()
+
+
+def test_release_drops_the_payload_reference():
+    _drain_pool()
+    with sanitized(False):
+        pkt = Packet.acquire("a", "b", "tcp", object(), 40)
+        pkt.release()
+        assert pkt.payload is None  # sanitizers off: plain None sentinel
+
+
+def test_double_release_is_a_noop():
+    _drain_pool()
+    pkt = Packet.acquire("a", "b", "tcp", "x", 40)
+    pkt.release()
+    pkt.release()
+    assert _pool == [pkt]
+
+
+def test_hand_built_packets_are_never_pooled():
+    _drain_pool()
+    pkt = Packet(src="a", dst="b", proto="test", payload="x", wire_size=40)
+    pkt.release()
+    assert _pool == []
+    assert pkt.payload == "x"  # untouched: release was a no-op
+
+
+def test_corrupted_flag_resets_on_reuse():
+    _drain_pool()
+    pkt = Packet.acquire("a", "b", "tcp", "x", 40)
+    pkt.corrupted = True
+    pkt.release()
+    again = Packet.acquire("a", "b", "tcp", "y", 40)
+    assert again is pkt and not again.corrupted
+    again.release()
+
+
+def test_sanitizers_poison_pooled_payload():
+    _drain_pool()
+    with sanitized(True):
+        pkt = Packet.acquire("a", "b", "tcp", "x", 40)
+        pkt.release()
+        assert pkt.payload is POOL_POISON
+
+
+def test_touched_pool_entry_is_caught_on_acquire():
+    _drain_pool()
+    with sanitized(True):
+        pkt = Packet.acquire("a", "b", "tcp", "x", 40)
+        pkt.release()
+        pkt.payload = "use-after-release write"
+        with pytest.raises(AssertionError, match="use-after-recycle"):
+            Packet.acquire("c", "d", "tcp", "y", 40)
+    _drain_pool()
+
+
+def test_plain_none_entries_survive_late_sanitizer_enable():
+    _drain_pool()
+    with sanitized(False):
+        pkt = Packet.acquire("a", "b", "tcp", "x", 40)
+        pkt.release()  # sanitizers off: payload slot holds None, not poison
+    with sanitized(True):
+        again = Packet.acquire("c", "d", "tcp", "y", 40)  # must not trip
+        assert again is pkt
+        again.release()
+    _drain_pool()

@@ -1,0 +1,192 @@
+"""Event-core edge cases: timer pooling, compaction interplay, seq
+renumbering, and the sanitize-mode poisoning that guards the pools."""
+
+import pytest
+
+from repro.analyze.sanitize import POOL_POISON, InvariantViolation, sanitized
+from repro.simkernel import Kernel
+from repro.simkernel.kernel import Timer
+
+
+# ---------------------------------------------------------------------------
+# timer free-list pool
+# ---------------------------------------------------------------------------
+def test_fired_timer_is_recycled_and_reused():
+    k = Kernel()
+    fired = []
+    first = k.call_after(10, fired.append, "a")
+    k.run()
+    assert fired == ["a"]
+    # the consumed handle is dead and parked on the free list...
+    assert first.cancelled and first._kernel is None
+    assert k._timer_pool == [first]
+    # ...and the next call_after hands back the very same object
+    second = k.call_after(5, fired.append, "b")
+    assert second is first
+    assert not second.cancelled
+    k.run()
+    assert fired == ["a", "b"]
+
+
+def test_cancelled_timer_recycles_when_its_entry_pops():
+    k = Kernel()
+    timer = k.call_after(10, pytest.fail, "cancelled timer fired")
+    timer.cancel()
+    assert k._timer_pool == []  # lazy: entry still queued
+    k.run()  # pops the dead entry without firing it
+    assert k._timer_pool == [timer]
+    reused = k.call_after(1, lambda: None)
+    assert reused is timer
+
+
+def test_stale_cancel_after_fire_is_noop_and_does_not_corrupt_pool():
+    k = Kernel()
+    timer = k.call_after(1, lambda: None)
+    k.run()
+    timer.cancel()  # stale handle: dead already, must change nothing
+    assert k.pending_events() == 0
+    assert len(k._timer_pool) == 1
+    k.call_after(1, lambda: None)
+    k.run()
+    assert k.events_processed == 2
+
+
+def test_post_path_never_touches_the_timer_pool():
+    k = Kernel()
+    for i in range(10):
+        k.post_after(i, lambda: None)
+    k.run()
+    assert k._timer_pool == []
+
+
+# ---------------------------------------------------------------------------
+# compaction x pooling
+# ---------------------------------------------------------------------------
+def test_compaction_recycles_cancelled_timers_and_preserves_order():
+    k = Kernel()
+    k.COMPACT_MIN_HEAP = 64  # instance override: trigger cheaply
+    fired = []
+    keep = [k.call_at(1_000 + i, fired.append, i) for i in range(20)]
+    doomed = [k.call_at(100 + i, pytest.fail, "dead") for i in range(200)]
+    for timer in doomed:
+        timer.cancel()
+    # >half the heap was cancelled past the floor: compacted (possibly
+    # several times, as each cancel wave re-crosses the threshold)
+    assert k.heap_compactions >= 1
+    assert len(keep) <= len(k._heap) < len(keep) + len(doomed)
+    k.run()
+    assert fired == list(range(20))  # FIFO order survives the rebuild
+    # every handle — compacted, popped, or fired — ends up in the pool
+    assert len(k._timer_pool) == len(keep) + len(doomed)
+
+
+def test_pool_survivors_are_reused_after_compaction():
+    k = Kernel()
+    k.COMPACT_MIN_HEAP = 8
+    doomed = [k.call_after(10 + i, lambda: None) for i in range(32)]
+    for timer in doomed:
+        timer.cancel()
+    assert k.heap_compactions >= 1
+    pooled = len(k._timer_pool)
+    assert pooled > 0
+    # scheduling drains the pool (reusing compacted handles) before
+    # allocating anything new
+    fresh = [k.call_after(1 + i, lambda: None) for i in range(pooled)]
+    assert set(map(id, fresh)) <= set(map(id, doomed))
+    assert k._timer_pool == []
+    k.run()
+
+
+# ---------------------------------------------------------------------------
+# sequence-counter renumbering
+# ---------------------------------------------------------------------------
+def test_seq_renumber_preserves_fifo_under_production_mask():
+    k = Kernel()
+    k.SEQ_LIMIT = 16  # instance override: wrap after a handful of events
+    order = []
+    # same-timestamp events spanning several renumbers: FIFO must hold
+    for i in range(100):
+        if i % 2:
+            k.post_at(500, order.append, i)
+        else:
+            k.call_at(500, order.append, i)
+    k.run()
+    assert order == list(range(100))
+    assert k.seq_renumbers >= 1
+
+
+def test_seq_renumber_interleaves_with_firing():
+    k = Kernel()
+    k.SEQ_LIMIT = 8
+    order = []
+
+    def chain(i):
+        order.append(i)
+        if i < 50:
+            k.post_after(0, chain, i + 1)
+
+    k.post_after(1, chain, 0)
+    k.run()
+    assert order == list(range(51))
+    assert k.seq_renumbers >= 1
+
+
+def test_nonzero_tiebreak_mask_skips_renumbering():
+    k = Kernel(tiebreak_mask=0b1)
+    k.SEQ_LIMIT = 8
+    fired = []
+    for i in range(64):
+        k.post_at(100 + i, fired.append, i)  # distinct times: order by when
+    k.run()
+    assert fired == list(range(64))
+    assert k.seq_renumbers == 0  # masked kernels grow keys instead
+
+
+# ---------------------------------------------------------------------------
+# sanitize-mode pool poisoning
+# ---------------------------------------------------------------------------
+def test_pooled_timers_are_poisoned_under_sanitizers():
+    with sanitized(True):
+        k = Kernel()
+        k.call_after(1, lambda: None)
+        k.run()
+        (pooled,) = k._timer_pool
+        assert pooled.fn is POOL_POISON
+        assert pooled.args is POOL_POISON
+
+
+def test_touched_pool_entry_is_caught_on_acquire():
+    with sanitized(True):
+        k = Kernel()
+        k.call_after(1, lambda: None)
+        k.run()
+        k._timer_pool[0].fn = lambda: None  # use-after-recycle write
+        with pytest.raises(InvariantViolation, match="pool"):
+            k.call_after(1, lambda: None)
+
+
+def test_poisoned_entry_reaching_dispatch_is_caught():
+    with sanitized(True):
+        k = Kernel()
+        timer = Timer(5, POOL_POISON, (), k)
+        import heapq
+
+        heapq.heappush(k._heap, (5, 1, timer, None))
+        k._live_events += 1
+        with pytest.raises(InvariantViolation, match="pool"):
+            k.run()
+
+
+def test_audit_flags_live_poisoned_heap_entry():
+    with sanitized(True):
+        k = Kernel()
+        k.call_after(1, lambda: None)
+        k.run()
+        pooled = k._timer_pool[0]
+        import heapq
+
+        # a recycled handle illegally re-queued as if it were live
+        heapq.heappush(k._heap, (10, 99, pooled, None))
+        pooled.cancelled = False
+        with pytest.raises(InvariantViolation, match="use-after-recycle"):
+            k._san.audit()

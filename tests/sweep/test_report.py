@@ -8,6 +8,7 @@ from repro.sweep import (
     END_MARK,
     append_trajectory,
     build_entry,
+    derive_summaries,
     gate_simperf,
     load_trajectory,
     render_trend_table,
@@ -108,6 +109,122 @@ def test_update_experiments_md_replaces_between_markers(tmp_path):
     # idempotent: markers survive the rewrite
     update_experiments_md(str(path), {"entries": [_entry()]})
     assert text == path.read_text()
+
+
+# ---------------------------------------------------------------------------
+# derived summaries: SCTP/TCP ratios and loss-crossover points
+# ---------------------------------------------------------------------------
+PAIRED_CELLS = {
+    "pingpong[protocol=sctp,size=4096,loss=0]": {"row": {"MBps": 50.0, "rtt_ms": 2.0}},
+    "pingpong[protocol=tcp,size=4096,loss=0]": {"row": {"MBps": 40.0, "rtt_ms": 2.5}},
+    "pingpong[protocol=sctp,size=4096,loss=0.01]": {"row": {"MBps": 30.0}},
+    "pingpong[protocol=tcp,size=4096,loss=0.01]": {"row": {"MBps": 40.0}},
+    # unpaired: no tcp counterpart, must be skipped
+    "farm[protocol=sctp,fanout=2]": {"row": {"elapsed_s": 1.0}},
+    # protocol-free: not a comparison cell at all
+    "nas[kernel=IS]": {"row": {"mops": 3.0}},
+}
+
+
+def test_derive_summaries_ratios():
+    derived = derive_summaries(PAIRED_CELLS)
+    ratios = derived["sctp_tcp_ratio"]
+    assert set(ratios) == {
+        "pingpong[size=4096,loss=0]",
+        "pingpong[size=4096,loss=0.01]",
+    }
+    assert ratios["pingpong[size=4096,loss=0]"] == {
+        "MBps": 50.0 / 40.0,
+        "rtt_ms": 2.0 / 2.5,
+    }
+    assert ratios["pingpong[size=4096,loss=0.01]"] == {"MBps": 30.0 / 40.0}
+
+
+def test_derive_summaries_finds_loss_crossover():
+    derived = derive_summaries(PAIRED_CELLS)
+    # MBps ratio goes 1.25 (loss=0) -> 0.75 (loss=0.01): crosses 1.0
+    crossings = derived["loss_crossover"]["pingpong[size=4096]"]
+    assert crossings == [
+        {
+            "metric": "MBps",
+            "loss_below": 0.0,
+            "loss_above": 0.01,
+            "ratio_below": 1.25,
+            "ratio_above": 0.75,
+        }
+    ]
+
+
+def test_derive_summaries_no_crossover_without_sign_change():
+    cells = {
+        "pingpong[protocol=sctp,loss=0]": {"r": {"MBps": 50.0}},
+        "pingpong[protocol=tcp,loss=0]": {"r": {"MBps": 40.0}},
+        "pingpong[protocol=sctp,loss=0.01]": {"r": {"MBps": 45.0}},
+        "pingpong[protocol=tcp,loss=0.01]": {"r": {"MBps": 40.0}},
+    }
+    assert derive_summaries(cells)["loss_crossover"] == {}
+
+
+def test_derive_summaries_skips_zero_denominators():
+    cells = {
+        "farm[protocol=sctp,loss=0]": {"r": {"elapsed_s": 1.0}},
+        "farm[protocol=tcp,loss=0]": {"r": {"elapsed_s": 0.0}},
+    }
+    assert derive_summaries(cells)["sctp_tcp_ratio"] == {}
+
+
+def test_build_entry_embeds_derived_and_table_renders_it():
+    sweep_doc = {
+        "schema": 1,
+        "name": "smoke",
+        "code_version": "abc",
+        "scale": "scaled",
+        "cells": [
+            {
+                "id": "pingpong[protocol=sctp,loss=0]",
+                "rows": [{"label": "s", "measured": {"MBps": 50.0}}],
+            },
+            {
+                "id": "pingpong[protocol=tcp,loss=0]",
+                "rows": [{"label": "t", "measured": {"MBps": 40.0}}],
+            },
+        ],
+    }
+    entry = build_entry(sweep_doc, git_sha="deadbeef", date="2026-08-07")
+    assert entry["derived"]["sctp_tcp_ratio"] == {
+        "pingpong[loss=0]": {"MBps": 1.25}
+    }
+    table = render_trend_table({"entries": [entry]})
+    assert "sctp/tcp (med)" in table.splitlines()[0]
+    assert "1.250" in table
+
+
+def test_trend_table_backfills_derived_for_old_entries():
+    # an entry committed before the derived field existed still gets
+    # ratio columns, computed on the fly from its cells
+    entry = build_entry(
+        {
+            "schema": 1,
+            "name": "smoke",
+            "code_version": "abc",
+            "scale": "scaled",
+            "cells": [
+                {
+                    "id": "pingpong[protocol=sctp,loss=0]",
+                    "rows": [{"label": "s", "measured": {"MBps": 50.0}}],
+                },
+                {
+                    "id": "pingpong[protocol=tcp,loss=0]",
+                    "rows": [{"label": "t", "measured": {"MBps": 40.0}}],
+                },
+            ],
+        },
+        git_sha="deadbeef",
+        date="2026-08-07",
+    )
+    del entry["derived"]
+    table = render_trend_table({"entries": [entry]})
+    assert "1.250" in table
 
 
 def test_update_experiments_md_appends_when_markers_missing(tmp_path):

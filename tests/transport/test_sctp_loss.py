@@ -2,6 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
+from repro.faults.impairments import copy_packet
 from repro.simkernel import SECOND
 from repro.transport.sctp import SCTPConfig
 from repro.util.blobs import RealBlob
@@ -56,9 +57,14 @@ def test_duplicate_tsns_detected_not_delivered_twice():
     sink = pipe.sink
 
     def duplicator(pkt):
-        sink(pkt)
+        # copy first: a duplicate is a distinct wire datagram, and the
+        # original may be released back to the packet pool on delivery
+        dup = None
         if pkt.proto == "sctp" and pkt.payload.data_chunks():
-            sink(pkt)
+            dup = copy_packet(pkt)
+        sink(pkt)
+        if dup is not None:
+            sink(dup)
 
     pipe.sink = duplicator
     for i in range(5):
