@@ -5,16 +5,21 @@ independent deterministic cells (``experiment_cells`` /
 ``run_experiment_cell``) — the simulated property the paper's Dummynet
 testbed had physically: each (seed, scenario) run is isolated, so runs
 can execute anywhere in any order.  This module exploits that with
-``multiprocessing``:
+supervised child processes (:mod:`repro.supervise`):
 
 * each worker process runs one cell to completion, under its own
   :class:`~repro.metrics.MetricsCollector` when metrics are requested;
 * the parent merges per-cell rows and metrics snapshots **in cell
-  enumeration order** (``Pool.map`` preserves input order), never in
-  completion order;
+  enumeration order** (``supervised_map`` preserves input order), never
+  in completion order;
 * virtual-time results and metrics snapshots contain no wall-clock
   values, so the merged document is byte-identical to the serial
-  runner's — CI diffs the two to gate ``--jobs`` determinism.
+  runner's — CI diffs the two to gate ``--jobs`` determinism;
+* a worker that crashes outright (``os._exit``, a signal) no longer
+  hangs or poisons the whole fan-out: the supervisor reports *which*
+  cell died and with what exit code, and callers that opt into a retry
+  policy (``repro.sweep run --supervise``) get bounded deterministic
+  retries plus quarantine instead of a lost run.
 
 Workers inherit the parent's environment (``REPRO_FULL`` scale
 switching works unchanged).  The ``fork`` start method is preferred
@@ -25,36 +30,51 @@ cross the process boundary.
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..metrics import MetricsCollector
+from ..supervise import SupervisePolicy, supervised_map
+from ..supervise.executor import SuperviseError
 from . import harness
 
 CellResult = Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]
+
+# pool_map's default stance: no retries, no deadline — identical
+# semantics to the old bare Pool.map, plus crash attribution
+_STRICT = SupervisePolicy(max_attempts=1)
+
+
+class CellError(RuntimeError):
+    """A bench/sweep cell failed; carries the cell identity and params."""
 
 
 def _run_cell(item: Tuple[str, str, bool]) -> CellResult:
     """Worker body: run one (experiment, key) cell, return plain data."""
     name, key, with_metrics = item
-    if with_metrics:
-        with MetricsCollector() as collector:
+    try:
+        if with_metrics:
+            with MetricsCollector() as collector:
+                rows = harness.run_experiment_cell(name, key)
+            runs = collector.runs
+        else:
             rows = harness.run_experiment_cell(name, key)
-        runs = collector.runs
-    else:
-        rows = harness.run_experiment_cell(name, key)
-        runs = []
+            runs = []
+    except Exception as exc:
+        # keep the failing cell's identity in the parent traceback
+        # instead of a bare multiprocessing stack
+        raise CellError(
+            f"bench cell {name}:{key} failed: {exc!r}"
+        ) from exc
     return [row.to_jsonable() for row in rows], runs
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
-
-
-def pool_map(fn: Callable, items: Sequence, jobs: int) -> List:
-    """Order-preserving process-pool map under a concurrency cap.
+def pool_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: int,
+    task_ids: Optional[Sequence[str]] = None,
+) -> List:
+    """Order-preserving supervised process map under a concurrency cap.
 
     The shared fan-out primitive: ``run_experiments`` shards legacy
     experiment cells with it and :mod:`repro.sweep` shards dirty sweep
@@ -63,11 +83,28 @@ def pool_map(fn: Callable, items: Sequence, jobs: int) -> List:
     every merged document byte-identical to its serial counterpart.
     ``fn`` must be a module-level callable and ``items`` plain data so
     spawn-based platforms can address the work.
+
+    Failures are strict here (no retry — the deterministic simulation
+    would fail identically): the first failing task raises a
+    :class:`SuperviseError` naming the task and carrying the child's
+    traceback or exit code.  Callers that want retry/quarantine call
+    :func:`repro.supervise.supervised_map` with their own policy.
     """
     if jobs <= 1 or not items:
         return [fn(item) for item in items]
-    with _pool_context().Pool(processes=min(jobs, len(items))) as pool:
-        return pool.map(fn, items)
+    outcome = supervised_map(
+        fn, items, jobs=jobs, policy=_STRICT, task_ids=task_ids
+    )
+    if outcome.quarantined:
+        first = next(
+            rec for rec in outcome.manifest if rec["outcome"] == "quarantined"
+        )
+        detail = first["attempts"][-1]["detail"]
+        raise SuperviseError(
+            f"worker for task {first['task']} failed "
+            f"({len(outcome.quarantined)} of {len(items)} tasks lost): {detail}"
+        )
+    return outcome.results
 
 
 def run_experiments(
@@ -88,7 +125,9 @@ def run_experiments(
         for name in names
         for key in harness.experiment_cells(name)
     ]
-    outputs = pool_map(_run_cell, items, jobs)
+    outputs = pool_map(
+        _run_cell, items, jobs, task_ids=[f"{name}:{key}" for name, key, _ in items]
+    )
     merged: Dict[str, Dict[str, List[Dict[str, Any]]]] = {
         name: {"rows": [], "runs": []} for name in names
     }

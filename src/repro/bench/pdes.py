@@ -57,6 +57,24 @@ def main(argv=None) -> int:
         help="virtual-time horizon; both legs of a parity pair must match",
     )
     parser.add_argument("--json", help="write the shard-invariant result JSON here")
+    parser.add_argument(
+        "--shard-timeout-s",
+        type=float,
+        default=60.0,
+        help="declare a shard hung after this long without a reply "
+        "(the cohort is reaped and the run degrades to serial)",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail hard on a shard crash/hang instead of degrading to serial",
+    )
+    parser.add_argument(
+        "--chaos",
+        metavar="OP:SHARD[:ROUND]",
+        help="inject a worker fault for self-tests: kill:1 crashes shard 1 "
+        "before its first run window; hang:0:2 SIGSTOPs shard 0 at round 2",
+    )
     args = parser.parse_args(argv)
 
     config = WorldConfig(
@@ -72,6 +90,9 @@ def main(argv=None) -> int:
         config=config,
         horizon_ns=int(args.horizon_s * SECOND),
         n_shards=args.shards,
+        shard_timeout_s=args.shard_timeout_s,
+        degrade_to_serial=not args.no_degrade,
+        chaos=args.chaos,
     )
 
     payload: Dict[str, Any] = {
@@ -102,6 +123,10 @@ def main(argv=None) -> int:
         f"({ev_per_s:,.0f} ev/s)",
         file=sys.stderr,
     )
+    if result.degraded:
+        # degradation is reported here, never in the JSON payload — a
+        # degraded run's result file stays byte-identical to a healthy one
+        print(f"DEGRADED to serial: {result.degraded_reason}", file=sys.stderr)
     return 0
 
 

@@ -19,7 +19,7 @@ simulation is a pure function of its configuration and seed.
 """
 
 from .futures import CancelledError, Future, Task
-from .kernel import Kernel, Timer
+from .kernel import Kernel, Timer, WatchdogExpired
 from .sync import AsyncEvent, AsyncQueue, wait_all, wait_any
 from .units import GBIT_PER_S, MBIT_PER_S, MICROSECOND, MILLISECOND, SECOND, tx_time_ns
 
@@ -36,6 +36,7 @@ __all__ = [
     "SECOND",
     "Task",
     "Timer",
+    "WatchdogExpired",
     "tx_time_ns",
     "wait_all",
     "wait_any",

@@ -49,7 +49,10 @@ Hot-path design (the simulator spends most of its wall-clock time here):
 from __future__ import annotations
 
 import hashlib
+import os
 import random
+import time
+from collections import Counter
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Coroutine, Iterable, Optional
 
@@ -106,6 +109,137 @@ class Timer:
             kernel._note_cancelled()
 
 
+class WatchdogExpired(RuntimeError):
+    """An armed kernel progress watchdog tripped.
+
+    The message names the limit that expired (wall clock, event budget,
+    or virtual-time stall), the virtual time and event count at expiry,
+    and the hottest callback labels still queued — enough to tell a
+    retransmission storm from a livelocked barrier without re-running
+    under a profiler.
+    """
+
+
+def _hot_heap_labels(heap: list, top: int = 5) -> str:
+    """The most common live callback labels queued in ``heap``.
+
+    Diagnostic for :class:`WatchdogExpired`: the machinery flooding the
+    heap is almost always the machinery that livelocked.
+    """
+    counts: Counter = Counter()
+    for entry in heap:
+        obj = entry[2]
+        if type(obj) is Timer:
+            if obj.cancelled:
+                continue
+            fn = obj.fn
+        else:
+            fn = obj
+        counts[getattr(fn, "__qualname__", None) or repr(fn)] += 1
+    if not counts:
+        return "(heap empty)"
+    return ", ".join(f"{name} x{n}" for name, n in counts.most_common(top))
+
+
+class _Watchdog:
+    """Armed progress limits for one kernel (:meth:`Kernel.arm_watchdog`).
+
+    One ``tick(when)`` per fired event, guarded by the same is-None test
+    the sanitizer uses, so a kernel without a watchdog pays nothing.
+    Wall-clock reads are amortised over ``check_every`` events; the
+    event and stall counters are plain integer arithmetic.
+    """
+
+    __slots__ = ("kernel", "max_wall_s", "started", "max_events", "count",
+                 "max_stall_events", "stall", "last_now", "check_every",
+                 "until_wall")
+
+    def __init__(self, kernel: "Kernel", max_wall_s: Optional[float],
+                 max_events: Optional[int], max_stall_events: Optional[int],
+                 check_every: int) -> None:
+        self.kernel = kernel
+        self.max_wall_s = max_wall_s
+        self.started = (
+            time.monotonic()  # repro: allow[AN101] — watchdog wall budget
+            if max_wall_s is not None else 0.0
+        )
+        self.max_events = max_events
+        self.count = 0
+        self.max_stall_events = max_stall_events
+        self.stall = 0
+        self.last_now = -1
+        self.check_every = check_every
+        self.until_wall = check_every
+
+    def tick(self, when: int) -> None:
+        self.count += 1
+        if self.max_stall_events is not None:
+            if when != self.last_now:
+                self.last_now = when
+                self.stall = 0
+            else:
+                self.stall += 1
+                if self.stall >= self.max_stall_events:
+                    self._expire(
+                        f"virtual time stalled: {self.stall + 1} consecutive "
+                        f"events at t={when}ns (livelock — something is "
+                        "rescheduling itself with zero delay)"
+                    )
+        if self.max_events is not None and self.count >= self.max_events:
+            self._expire(f"event budget exhausted ({self.max_events} events)")
+        if self.max_wall_s is not None:
+            self.until_wall -= 1
+            if self.until_wall <= 0:
+                self.until_wall = self.check_every
+                elapsed = (
+                    time.monotonic()  # repro: allow[AN101] — watchdog wall budget
+                    - self.started
+                )
+                if elapsed > self.max_wall_s:
+                    self._expire(
+                        f"wall-clock budget exhausted "
+                        f"({elapsed:.1f}s > {self.max_wall_s:g}s)"
+                    )
+
+    def _expire(self, reason: str) -> None:
+        kernel = self.kernel
+        kernel._watchdog = None  # disarm so cleanup code can't re-trip it
+        raise WatchdogExpired(
+            f"kernel watchdog expired at t={kernel.now}ns after "
+            f"{self.count} events: {reason}; pending events: "
+            f"{kernel.pending_events()}, hot heap labels: "
+            f"{_hot_heap_labels(kernel._heap)}"
+        )
+
+
+def _watchdog_env() -> Optional[dict]:
+    """Parse ``REPRO_WATCHDOG=wall=30,events=1e6,stall=100000[,every=N]``.
+
+    Evaluated once at import; every kernel constructed in the process
+    auto-arms with these limits (the CI/sweep "no run hangs forever"
+    safety net — per-kernel :meth:`Kernel.arm_watchdog` overrides it).
+    """
+    spec = os.environ.get("REPRO_WATCHDOG", "").strip()
+    if not spec:
+        return None
+    limits: dict = {"wall": None, "events": None, "stall": None, "every": 1024}
+    for part in spec.split(","):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in limits:
+            raise ValueError(
+                f"REPRO_WATCHDOG: expected wall=/events=/stall=/every= "
+                f"terms, got {part!r}"
+            )
+        limits[key] = float(value) if key == "wall" else int(float(value))
+    if all(limits[k] is None for k in ("wall", "events", "stall")):
+        raise ValueError("REPRO_WATCHDOG: set at least one of wall/events/stall")
+    return limits
+
+
+_ENV_WATCHDOG = _watchdog_env()
+
+
 class Kernel:
     """Discrete-event loop with an integer nanosecond virtual clock."""
 
@@ -137,6 +271,15 @@ class Kernel:
         # None unless REPRO_SANITIZE / enable_sanitizers() is on, so the
         # run loops pay one is-None test per event (the metrics pattern)
         self._san = kernel_sanitizer(self)
+        # None unless armed (arm_watchdog / REPRO_WATCHDOG): same pattern
+        self._watchdog: Optional[_Watchdog] = None
+        if _ENV_WATCHDOG is not None:
+            self.arm_watchdog(
+                max_wall_s=_ENV_WATCHDOG["wall"],
+                max_events=_ENV_WATCHDOG["events"],
+                max_stall_events=_ENV_WATCHDOG["stall"],
+                check_every=_ENV_WATCHDOG["every"],
+            )
         # Timer free list: dead handles awaiting reuse (never scheduled)
         self._timer_pool: list[Timer] = []
         self._events_processed = 0
@@ -375,6 +518,55 @@ class Kernel:
         self._seq_renumbers += 1
         return len(entries) + 1
 
+    # -- watchdog --------------------------------------------------------
+    def arm_watchdog(
+        self,
+        *,
+        max_wall_s: Optional[float] = None,
+        max_events: Optional[int] = None,
+        max_stall_events: Optional[int] = None,
+        check_every: int = 1024,
+    ) -> None:
+        """Arm opt-in progress limits checked from inside the run loops.
+
+        * ``max_wall_s`` — real seconds this kernel may spend firing
+          events (read every ``check_every`` events, so granularity is
+          coarse by design);
+        * ``max_events`` — total events this watchdog will allow;
+        * ``max_stall_events`` — consecutive events at an *unchanged*
+          virtual ``now`` before the run is declared livelocked (pick a
+          value well above legitimate same-timestamp bursts — barriers
+          firing a whole rank set at one instant are normal);
+
+        Tripping any limit raises :class:`WatchdogExpired` with the hot
+        heap labels, instead of the run spinning forever.  This is the
+        layer that catches *pure-Python* livelocks, which the process
+        supervisor's heartbeat cannot see (a spinning event loop still
+        heartbeats); conversely a SIGSTOP'd or C-stuck process never
+        reaches these checks, which is the heartbeat's job — the two are
+        complements, not alternatives.
+
+        Arming takes effect when a run loop is next entered; determinism
+        is unaffected (the watchdog observes, and either raises or
+        changes nothing).
+        """
+        if max_wall_s is None and max_events is None and max_stall_events is None:
+            raise ValueError("arm_watchdog: set at least one limit")
+        for name, value in (("max_wall_s", max_wall_s),
+                            ("max_events", max_events),
+                            ("max_stall_events", max_stall_events)):
+            if value is not None and value <= 0:
+                raise ValueError(f"arm_watchdog: {name} must be positive: {value}")
+        if check_every < 1:
+            raise ValueError(f"arm_watchdog: check_every must be >= 1: {check_every}")
+        self._watchdog = _Watchdog(
+            self, max_wall_s, max_events, max_stall_events, check_every
+        )
+
+    def disarm_watchdog(self) -> None:
+        """Remove any armed watchdog (effective at the next run entry)."""
+        self._watchdog = None
+
     # -- running ---------------------------------------------------------
     def next_event_time(self) -> Optional[int]:
         """Timestamp of the earliest queued entry, or None when idle.
@@ -391,6 +583,7 @@ class Kernel:
         ``max_events`` fire.  Returns the number of events processed."""
         heap = self._heap  # _compact() mutates in place, never rebinds
         san = self._san
+        wd = self._watchdog
         processed = 0
         try:
             while heap:
@@ -420,6 +613,10 @@ class Kernel:
                 self._now = when
                 fn(*args)
                 processed += 1
+                # ticked after the event fired so the heap shows its
+                # effects (a livelock's re-post is visible in the dump)
+                if wd is not None:
+                    wd.tick(when)
                 if max_events is not None and processed >= max_events:
                     return processed
             if until is not None and until > self._now:
@@ -438,6 +635,7 @@ class Kernel:
         """
         heap = self._heap  # _compact() mutates in place, never rebinds
         san = self._san
+        wd = self._watchdog
         processed = 0
         try:
             if limit is None:
@@ -469,6 +667,8 @@ class Kernel:
                     self._now = when
                     fn(*args)
                     processed += 1
+                    if wd is not None:
+                        wd.tick(when)
                 return fut.result()
             # fut._state check == Future.done(), minus a method call per event
             while fut._state is _PENDING:
@@ -503,6 +703,8 @@ class Kernel:
                 self._now = entry[0]
                 fn(*args)
                 processed += 1
+                if wd is not None:
+                    wd.tick(entry[0])
         finally:
             self._events_processed += processed
         return fut.result()

@@ -37,6 +37,9 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
+import signal
+import sys
 import time
 import traceback
 from dataclasses import dataclass
@@ -47,13 +50,32 @@ from ..analyze.perturb import filter_schedule_sensitive
 # (deliver_time_ns, link_name, packet): one cross-shard packet in flight
 OutboxEntry = Tuple[int, str, Any]
 
+# how often the coordinator's supervised recv re-checks worker health
+_POLL_TICK_S = 0.05
+
+# exit code a chaos "kill" strike uses (matches repro.supervise)
+CHAOS_EXIT_CODE = 70
+
 
 class HorizonError(RuntimeError):
     """The virtual-time horizon elapsed before every rank finished."""
 
 
 class ShardExchangeError(RuntimeError):
-    """A shard worker died or reported an exception mid-run."""
+    """A shard worker reported an application exception mid-run."""
+
+
+class ShardFailure(ShardExchangeError):
+    """Infrastructure failure: a shard worker crashed, hung, or lost
+    its pipe.
+
+    Distinct from a structured ``("error", traceback)`` message — that
+    is a deterministic application error which re-raises as plain
+    :class:`ShardExchangeError` and would fail identically on a serial
+    rerun.  A :class:`ShardFailure` means the *process*, not the
+    simulation, is broken, so the coordinator reaps the whole cohort
+    and (by default) degrades gracefully to the serial leg.
+    """
 
 
 @dataclass(frozen=True)
@@ -120,6 +142,11 @@ class PDESResult:
     n_shards: int
     wall_s: float
     rounds: int  # synchronisation windows executed (0 for serial)
+    # degradation markers live here (and on stderr), never in the
+    # shard-invariant JSON payload: a degraded run's metrics document
+    # must stay byte-identical to a healthy serial run's
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
 
 
 def _merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -225,9 +252,29 @@ class _Shard:
         return results, self.kernel.metrics.snapshot(), self.kernel.events_processed
 
 
+def _chaos_strike(op: str) -> None:  # pragma: no cover - runs in child
+    """Chaos-test fault injection inside a shard worker.
+
+    ``kill`` hard-exits (no cleanup, no structured error — exactly what
+    a segfaulting or OOM-killed worker looks like to the coordinator);
+    ``hang`` stops the process with SIGSTOP, which freezes *everything*
+    including the pipe, the shape of a wedged worker.
+    """
+    if op == "kill":
+        os._exit(CHAOS_EXIT_CODE)
+    os.kill(os.getpid(), signal.SIGSTOP)
+
+
 def _worker_main(conn: Any, config: Any, plan: ShardPlan, shard_id: int,
-                 app: Callable, args: tuple) -> None:
-    """Shard worker: obeys run/deliver/finish commands from the coordinator."""
+                 app: Callable, args: tuple,
+                 chaos: Optional[Tuple[str, int]] = None) -> None:
+    """Shard worker: obeys run/deliver/finish commands from the coordinator.
+
+    ``chaos`` — ``(op, round)`` — makes this worker strike (crash or
+    hang) just before executing its ``round``-th run window; used by the
+    degradation self-test and the CI chaos gate.
+    """
+    runs_seen = 0
     try:
         shard = _Shard(config, plan, shard_id)
         shard.start(app, args)
@@ -236,6 +283,9 @@ def _worker_main(conn: Any, config: Any, plan: ShardPlan, shard_id: int,
             cmd = conn.recv()
             op = cmd[0]
             if op == "run":
+                runs_seen += 1
+                if chaos is not None and runs_seen == chaos[1]:
+                    _chaos_strike(chaos[0])
                 conn.send(("outbox", shard.run_window(cmd[1])))
             elif op == "deliver":
                 shard.deliver(cmd[1])
@@ -256,13 +306,90 @@ def _worker_main(conn: Any, config: Any, plan: ShardPlan, shard_id: int,
         conn.close()
 
 
-def _expect(conn: Any, kind: str) -> tuple:
-    msg = conn.recv()
+def _expect(conn: Any, kind: str, *, proc: Any = None, shard_id: int = -1,
+            timeout_s: Optional[float] = None) -> tuple:
+    """Receive one ``kind`` message, supervising the worker behind it.
+
+    Polls instead of blocking so a worker that died (dead process, pipe
+    EOF) or went silent past ``timeout_s`` raises :class:`ShardFailure`
+    naming the shard — a bare ``recv()`` here used to block the
+    coordinator forever on a wedged worker and report nothing useful on
+    a crashed one.  Structured ``error`` replies still raise plain
+    :class:`ShardExchangeError` (deterministic application failure).
+    """
+    deadline = (
+        None if timeout_s is None
+        else time.monotonic() + timeout_s  # repro: allow[AN101] — watchdog
+    )
+    while True:
+        try:
+            if conn.poll(_POLL_TICK_S):
+                msg = conn.recv()
+                break
+        except (EOFError, OSError):
+            code = None
+            if proc is not None:
+                proc.join(timeout=0.2)  # EOF usually precedes the reap
+                code = proc.exitcode
+            raise ShardFailure(
+                f"shard {shard_id} worker died mid-exchange "
+                f"(exit code {code}) while the coordinator awaited {kind!r}"
+            ) from None
+        if proc is not None and not proc.is_alive():
+            raise ShardFailure(
+                f"shard {shard_id} worker died (exit code {proc.exitcode}) "
+                f"while the coordinator awaited {kind!r}"
+            )
+        now = time.monotonic()  # repro: allow[AN101] — watchdog
+        if deadline is not None and now > deadline:
+            raise ShardFailure(
+                f"shard {shard_id} worker stalled: no {kind!r} reply within "
+                f"{timeout_s:g}s (hung or stopped process)"
+            )
     if msg[0] == "error":
         raise ShardExchangeError(f"shard worker failed:\n{msg[1]}")
     if msg[0] != kind:
         raise ShardExchangeError(f"expected {kind!r} from worker, got {msg[0]!r}")
     return msg
+
+
+def _send(conn: Any, payload: tuple, *, proc: Any, shard_id: int) -> None:
+    """Send one command; a lost pipe surfaces as :class:`ShardFailure`."""
+    try:
+        conn.send(payload)
+    except (BrokenPipeError, OSError):
+        raise ShardFailure(
+            f"shard {shard_id} worker lost its pipe before "
+            f"{payload[0]!r} (exit code {proc.exitcode})"
+        ) from None
+
+
+def _reap_cohort(procs: List[Any], conns: List[Any],
+                 grace_s: float = 1.0) -> None:
+    """Terminate-and-reap every shard worker: close pipes, SIGTERM,
+    then SIGKILL stragglers.
+
+    The SIGKILL backstop matters: a *stopped* (SIGSTOP'd) worker leaves
+    SIGTERM pending forever, and SIGKILL is the only signal a stopped
+    process cannot sit out.  ``grace_s`` lets cleanly exiting workers
+    finish on their own first (the healthy-shutdown path).
+    """
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+    if grace_s > 0:
+        for proc in procs:
+            proc.join(timeout=grace_s)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=0.5)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5)
 
 
 # ---------------------------------------------------------------------------
@@ -299,6 +426,31 @@ def _run_serial_horizon(config: Any, app: Callable, args: tuple,
     )
 
 
+def _parse_chaos(spec: Optional[str], n_shards: int) -> Optional[Tuple[str, int, int]]:
+    """Parse ``"kill:SHARD[:ROUND]"`` / ``"hang:SHARD[:ROUND]"``.
+
+    Returns ``(op, shard, round)`` with ``round`` defaulting to the
+    first run window, or ``None`` for no injection.
+    """
+    if spec is None:
+        return None
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"chaos spec must be OP:SHARD[:ROUND], got {spec!r}")
+    op = parts[0]
+    if op not in ("kill", "hang"):
+        raise ValueError(f"chaos op must be 'kill' or 'hang', got {op!r}")
+    shard = int(parts[1])
+    if not 0 <= shard < n_shards:
+        raise ValueError(
+            f"chaos shard {shard} out of range for n_shards={n_shards}"
+        )
+    round_no = int(parts[2]) if len(parts) == 3 else 1
+    if round_no < 1:
+        raise ValueError(f"chaos round must be >= 1, got {round_no}")
+    return op, shard, round_no
+
+
 def run_sharded(
     app: Callable,
     *,
@@ -306,6 +458,9 @@ def run_sharded(
     horizon_ns: int,
     n_shards: int,
     args: tuple = (),
+    shard_timeout_s: Optional[float] = 60.0,
+    degrade_to_serial: bool = True,
+    chaos: Optional[str] = None,
 ) -> PDESResult:
     """Run ``app`` on every rank of one world, sharded over processes.
 
@@ -313,22 +468,44 @@ def run_sharded(
     per-rank coroutine function (as for ``World.run``).  Requires the
     ``fork`` start method (workers inherit ``app`` by address space, so
     closures work); every POSIX CI runner has it.
+
+    The coordinator supervises its cohort: a worker that crashes, hangs
+    (no reply within ``shard_timeout_s``), or loses its pipe gets the
+    whole cohort terminated and reaped, and — since every shard holds a
+    full world replica, so no state is lost — the run **degrades
+    gracefully** to the serial leg, whose metrics are byte-identical to
+    what the healthy sharded run would have produced.  The returned
+    result carries ``degraded=True`` plus the reason (and a notice is
+    printed to stderr); the shard-invariant payload is unchanged.  Pass
+    ``degrade_to_serial=False`` to get the :class:`ShardFailure`
+    instead.  Deterministic application errors (a structured worker
+    traceback, :class:`HorizonError`) never degrade — the serial rerun
+    would fail identically, so they propagate.
+
+    ``chaos`` (``"kill:SHARD[:ROUND]"`` / ``"hang:SHARD[:ROUND]"``)
+    injects a worker fault for self-tests and the CI chaos gate.
     """
     if horizon_ns <= 0:
         raise ValueError(f"horizon must be positive: {horizon_ns}")
     if n_shards == 1:
         return _run_serial_horizon(config, app, args, horizon_ns)
+    chaos_plan = _parse_chaos(chaos, n_shards)
     plan = ShardPlan(config.n_procs, config.n_pods, n_shards)
     t0 = time.perf_counter()  # repro: allow[AN101] — wall display only
     ctx = multiprocessing.get_context("fork")
-    conns = []
-    procs = []
+    conns: List[Any] = []
+    procs: List[Any] = []
     try:
         for s in range(n_shards):
             parent, child = ctx.Pipe()
+            worker_chaos = (
+                (chaos_plan[0], chaos_plan[2])
+                if chaos_plan is not None and chaos_plan[1] == s
+                else None
+            )
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child, config, plan, s, app, args),
+                args=(child, config, plan, s, app, args, worker_chaos),
                 daemon=True,
             )
             proc.start()
@@ -345,7 +522,20 @@ def run_sharded(
             n_hosts=config.n_procs, n_paths=config.n_paths, n_pods=config.n_pods
         )
         owners = plan.link_shards(config.n_paths, naming.switch_name)
-        nexts = [_expect(c, "status")[1] for c in conns]
+
+        def recv(kind: str) -> List[tuple]:
+            return [
+                _expect(c, kind, proc=p, shard_id=s, timeout_s=shard_timeout_s)
+                for s, (c, p) in enumerate(zip(conns, procs))
+            ]
+
+        def send_all(payloads: List[tuple]) -> None:
+            for s, (conn, proc, payload) in enumerate(
+                zip(conns, procs, payloads)
+            ):
+                _send(conn, payload, proc=proc, shard_id=s)
+
+        nexts = [msg[1] for msg in recv("status")]
         rounds = 0
         while True:
             live = [t for t in nexts if t is not None]
@@ -353,32 +543,26 @@ def run_sharded(
             if m is None or m > horizon_ns:
                 break
             window = min(horizon_ns, m + L - 1)
-            for conn in conns:
-                conn.send(("run", window))
-            outboxes = [_expect(c, "outbox")[1] for c in conns]
+            send_all([("run", window)] * n_shards)
+            outboxes = [msg[1] for msg in recv("outbox")]
             inbound: List[List[OutboxEntry]] = [[] for _ in range(n_shards)]
             for entries in outboxes:
                 for entry in entries:
                     dest = owners[entry[1]][1]
                     inbound[dest].append(entry)
-            for conn, entries in zip(conns, inbound):
-                conn.send(("deliver", entries))
-            nexts = [_expect(c, "status")[1] for c in conns]
+            send_all([("deliver", entries) for entries in inbound])
+            nexts = [msg[1] for msg in recv("status")]
             rounds += 1
         # final fast-forward: every remaining event is beyond the horizon,
         # so this fires nothing and pins each shard clock to exactly the
         # horizon — matching the serial leg's run(until=horizon)
-        for conn in conns:
-            conn.send(("run", horizon_ns))
-        for conn in conns:
-            _expect(conn, "outbox")
-        for conn in conns:
-            conn.send(("finish", horizon_ns))
+        send_all([("run", horizon_ns)] * n_shards)
+        recv("outbox")
+        send_all([("finish", horizon_ns)] * n_shards)
         by_rank: Dict[int, Any] = {}
         snapshots: List[Dict[str, Any]] = []
         events = 0
-        for conn in conns:
-            msg = _expect(conn, "result")
+        for msg in recv("result"):
             by_rank.update(msg[1])
             snapshots.append(msg[2])
             events += msg[3]
@@ -392,11 +576,20 @@ def run_sharded(
             wall_s=time.perf_counter() - t0,  # repro: allow[AN101] — wall display
             rounds=rounds,
         )
+    except ShardFailure as err:
+        # infrastructure failure: reap the whole cohort *now* (no grace
+        # — a hung worker would just burn the timeout again), then fall
+        # back to the serial leg if allowed
+        _reap_cohort(procs, conns, grace_s=0.0)
+        if not degrade_to_serial:
+            raise
+        print(
+            f"pdes: sharded run degraded to serial after shard failure: {err}",
+            file=sys.stderr,
+        )
+        result = _run_serial_horizon(config, app, args, horizon_ns)
+        result.degraded = True
+        result.degraded_reason = str(err)
+        return result
     finally:
-        for conn in conns:
-            conn.close()
-        for proc in procs:
-            proc.join(timeout=30)
-            if proc.is_alive():  # pragma: no cover - hung worker
-                proc.terminate()
-                proc.join(timeout=5)
+        _reap_cohort(procs, conns)

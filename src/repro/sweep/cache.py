@@ -7,11 +7,17 @@ needs no further validation: if the file exists and round-trips, its
 rows are exactly what rerunning the cell would produce.  Writes are
 atomic (tmp file + ``os.replace``) so an interrupted sweep never leaves
 a truncated entry behind — the resume run just recomputes that cell.
+
+A corrupted or truncated entry (a torn disk write, a bad copy) is
+never fatal: :meth:`SweepCache.get` logs a one-line warning with the
+digest and reports a miss, so the runner recomputes the cell and
+overwrites the bad entry on the way out.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -19,6 +25,8 @@ from typing import Any, Dict, List, Optional
 from .spec import Cell
 
 CACHE_SCHEMA = 1
+
+log = logging.getLogger("repro.sweep.cache")
 
 
 class SweepCache:
@@ -31,15 +39,45 @@ class SweepCache:
         return self.root / f"{digest}.json"
 
     def get(self, digest: str) -> Optional[List[Dict[str, Any]]]:
-        """Cached rows for a digest, or ``None`` on any miss/mismatch."""
+        """Cached rows for a digest, or ``None`` on any miss/mismatch.
+
+        A missing file is a silent miss (the normal cold-cache case);
+        an *existing but unusable* entry — unreadable, truncated,
+        invalid JSON, schema/digest mismatch, malformed rows — is a
+        logged miss: the caller recomputes and overwrites it.
+        """
+        path = self.path(digest)
         try:
-            doc = json.loads(self.path(digest).read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             return None
-        if doc.get("schema") != CACHE_SCHEMA or doc.get("digest") != digest:
+        except OSError as err:
+            log.warning("cache entry %s unreadable (%s): recomputing", digest, err)
+            return None
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as err:
+            log.warning(
+                "cache entry %s corrupt/truncated (%s): recomputing", digest, err
+            )
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != CACHE_SCHEMA:
+            log.warning(
+                "cache entry %s has unexpected schema: recomputing", digest
+            )
+            return None
+        if doc.get("digest") != digest:
+            log.warning(
+                "cache entry %s keyed by mismatching digest %r: recomputing",
+                digest,
+                doc.get("digest"),
+            )
             return None
         rows = doc.get("rows")
-        return rows if isinstance(rows, list) else None
+        if not isinstance(rows, list):
+            log.warning("cache entry %s has malformed rows: recomputing", digest)
+            return None
+        return rows
 
     def put(self, digest: str, cell: Cell, rows: List[Dict[str, Any]]) -> None:
         """Store one cell's rows (atomically) under its digest."""

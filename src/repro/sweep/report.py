@@ -189,6 +189,11 @@ def build_entry(
         "cells": cells,
         "derived": derive_summaries(cells),
     }
+    failures = sweep_doc.get("failures")
+    if failures:
+        # a salvaged partial run: record what was lost alongside what
+        # survived, so the trajectory shows the run was degraded
+        entry["failures"] = failures
     if simperf_doc is not None:
         entry["simperf"] = {
             name: bench["normalized"]

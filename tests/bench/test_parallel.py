@@ -45,3 +45,29 @@ def test_parallel_matches_serial_including_metrics():
     assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
     assert serial["fig8"]["rows"]  # non-vacuous
     assert serial["fig8"]["runs"]
+
+
+def test_worker_exception_names_the_failing_cell():
+    """A failing cell's identity and the original exception survive into
+    the parent-side error instead of a bare multiprocessing traceback."""
+    from repro.bench.parallel import _run_cell, CellError
+
+    with pytest.raises(CellError, match=r"fig8:no-such-cell"):
+        _run_cell(("fig8", "no-such-cell", False))
+
+
+def test_parallel_worker_crash_is_attributed():
+    """Strict pool_map raises naming the failed task, not a hung join."""
+    from repro.bench.parallel import pool_map
+    from repro.supervise.executor import SuperviseError
+
+    with pytest.raises(SuperviseError, match="cell-b"):
+        pool_map(_crash_item, [1, 2], jobs=2, task_ids=["cell-a", "cell-b"])
+
+
+def _crash_item(x):
+    if x == 2:
+        import os
+
+        os._exit(3)  # simulate a segfault/OOM-killed worker
+    return x

@@ -126,3 +126,71 @@ def test_horizon_too_short_raises():
             horizon_ns=1000,  # 1us: MPI_Init cannot even finish
             n_shards=1,
         )
+
+
+# ---------------------------------------------------------------------------
+# shard supervision: crash/hang detection and graceful degradation
+# ---------------------------------------------------------------------------
+def _degrade_case(chaos: str, shard_timeout_s: float = 5.0, **kw) -> PDESResult:
+    return run_sharded(
+        make_pingpong(4096, 2),
+        config=WorldConfig(n_procs=2, rpi="sctp", seed=3),
+        horizon_ns=SECOND,
+        n_shards=2,
+        shard_timeout_s=shard_timeout_s,
+        chaos=chaos,
+        **kw,
+    )
+
+
+def test_killed_shard_degrades_to_serial_byte_identical(capsys):
+    serial = run_sharded(
+        make_pingpong(4096, 2),
+        config=WorldConfig(n_procs=2, rpi="sctp", seed=3),
+        horizon_ns=SECOND,
+        n_shards=1,
+    )
+    degraded = _degrade_case("kill:1:1")
+    assert degraded.degraded
+    assert "exit code 70" in degraded.degraded_reason
+    assert _canonical(degraded) == _canonical(serial)
+    assert "degraded to serial" in capsys.readouterr().err
+    # markers never leak into the shard-invariant comparison surface
+    assert "degraded" not in _canonical(degraded)
+
+
+def test_hung_shard_is_reaped_and_degrades():
+    degraded = _degrade_case("hang:0:1", shard_timeout_s=2.0)
+    assert degraded.degraded
+    assert "stalled" in degraded.degraded_reason
+    assert degraded.results  # the serial leg really ran
+
+
+def test_no_degrade_raises_shard_failure():
+    from repro.simkernel.pdes import ShardExchangeError, ShardFailure
+
+    with pytest.raises(ShardFailure, match="shard 1"):
+        _degrade_case("kill:1:1", degrade_to_serial=False)
+    assert issubclass(ShardFailure, ShardExchangeError)  # old handlers still catch
+
+
+def test_healthy_run_is_not_degraded():
+    result = run_sharded(
+        make_pingpong(4096, 2),
+        config=WorldConfig(n_procs=2, rpi="sctp", seed=3),
+        horizon_ns=SECOND,
+        n_shards=2,
+        shard_timeout_s=30.0,
+    )
+    assert not result.degraded and result.degraded_reason is None
+
+
+def test_chaos_spec_validation():
+    from repro.simkernel.pdes import _parse_chaos
+
+    assert _parse_chaos(None, 2) is None
+    assert _parse_chaos("kill:1", 2) == ("kill", 1, 1)
+    assert _parse_chaos("hang:0:3", 2) == ("hang", 0, 3)
+    for bad in ("kill", "boom:0", "kill:2", "kill:0:0", "kill:0:1:2"):
+        with pytest.raises(ValueError):
+            _parse_chaos(bad, 2)

@@ -1,0 +1,163 @@
+"""Supervised fan-out contract: crash/hang/deadline detection, bounded
+deterministic retry, quarantine, and input-order results.
+
+Worker bodies are module-level (the executor addresses work by callable
++ plain items, so spawn platforms work too); injected failures go
+through the same ``SupervisePolicy.chaos`` hook the chaos selftest and
+CI job use, so these tests exercise the real detection paths.
+"""
+
+import time
+
+import pytest
+
+from repro.supervise import (
+    CRASH,
+    DEADLINE,
+    ERROR,
+    HANG,
+    OK,
+    SupervisePolicy,
+    backoff_delay,
+    current_attempt,
+    supervised_map,
+)
+
+FAST = dict(backoff_base_s=0.01, backoff_factor=2.0, backoff_max_s=0.05)
+
+
+def square(x):
+    return x * x
+
+
+def flaky_error(x):
+    if current_attempt() == 1:
+        raise RuntimeError(f"transient failure for {x}")
+    return x * x
+
+
+def sleep_forever(_x):
+    time.sleep(600)  # repro: allow[AN101] — deliberately hung worker body
+
+
+def test_plain_map_results_in_input_order():
+    outcome = supervised_map(square, [3, 1, 2], jobs=2)
+    assert outcome.results == [9, 1, 4]
+    assert outcome.ok
+    assert outcome.manifest == [] and outcome.quarantined == []
+
+
+def test_empty_items():
+    outcome = supervised_map(square, [], jobs=4)
+    assert outcome.results == [] and outcome.ok
+
+
+def test_crash_is_detected_and_retried():
+    policy = SupervisePolicy(
+        max_attempts=2, chaos={"t0": ("crash",)}, **FAST
+    )
+    outcome = supervised_map(square, [5], jobs=1, policy=policy, task_ids=["t0"])
+    assert outcome.results == [25] and outcome.ok
+    [rec] = outcome.manifest
+    assert rec["task"] == "t0" and rec["outcome"] == "recovered"
+    assert [a["outcome"] for a in rec["attempts"]] == [CRASH, OK]
+    assert "exit" in rec["attempts"][0]["detail"]
+
+
+def test_hang_is_killed_and_retried():
+    policy = SupervisePolicy(
+        max_attempts=2,
+        heartbeat_s=0.05,
+        hang_timeout_s=0.5,
+        chaos={"t0": ("hang",)},
+        **FAST,
+    )
+    outcome = supervised_map(square, [6], jobs=1, policy=policy, task_ids=["t0"])
+    assert outcome.results == [36] and outcome.ok
+    [rec] = outcome.manifest
+    assert [a["outcome"] for a in rec["attempts"]] == [HANG, OK]
+
+
+def test_real_hang_without_chaos_is_detected():
+    """A worker body that genuinely never returns trips the deadline."""
+    policy = SupervisePolicy(max_attempts=1, deadline_s=0.5, **FAST)
+    outcome = supervised_map(sleep_forever, [0], jobs=1, policy=policy)
+    assert outcome.results == [None]
+    assert outcome.quarantined == ["0"]
+    [rec] = outcome.manifest
+    assert rec["attempts"][0]["outcome"] == DEADLINE
+
+
+def test_persistent_crash_quarantines_after_max_attempts():
+    policy = SupervisePolicy(
+        max_attempts=3, chaos={"bad": ("crash", "crash", "crash")}, **FAST
+    )
+    outcome = supervised_map(
+        square, [1, 2], jobs=2, policy=policy, task_ids=["bad", "good"]
+    )
+    assert outcome.results == [None, 4]
+    assert outcome.quarantined == ["bad"] and not outcome.ok
+    [rec] = outcome.manifest
+    assert rec["outcome"] == "quarantined"
+    assert len(rec["attempts"]) == 3  # the retry budget is really bounded
+    assert all(a["outcome"] == CRASH for a in rec["attempts"])
+
+
+def test_deterministic_errors_are_not_retried_by_default():
+    policy = SupervisePolicy(max_attempts=3, chaos={"t": ("error",)}, **FAST)
+    outcome = supervised_map(square, [7], jobs=1, policy=policy, task_ids=["t"])
+    assert outcome.quarantined == ["t"]
+    [rec] = outcome.manifest
+    assert len(rec["attempts"]) == 1  # one ERROR, no retry
+    assert rec["attempts"][0]["outcome"] == ERROR
+    assert "ChaosInjected" in rec["attempts"][0]["detail"]
+
+
+def test_retry_errors_opt_in_and_current_attempt():
+    policy = SupervisePolicy(max_attempts=2, retry_errors=True, **FAST)
+    outcome = supervised_map(flaky_error, [4], jobs=1, policy=policy)
+    assert outcome.results == [16] and outcome.ok
+    [rec] = outcome.manifest
+    assert [a["outcome"] for a in rec["attempts"]] == [ERROR, OK]
+
+
+def test_mixed_fanout_preserves_input_order_under_retries():
+    policy = SupervisePolicy(
+        max_attempts=2,
+        heartbeat_s=0.05,
+        hang_timeout_s=0.5,
+        chaos={"a": ("crash",), "c": ("hang",)},
+        **FAST,
+    )
+    outcome = supervised_map(
+        square, [1, 2, 3, 4], jobs=4, policy=policy,
+        task_ids=["a", "b", "c", "d"],
+    )
+    assert outcome.results == [1, 4, 9, 16]
+    # manifest in input order, not completion order
+    assert [rec["task"] for rec in outcome.manifest] == ["a", "c"]
+
+
+def test_backoff_delay_is_deterministic_and_bounded():
+    policy = SupervisePolicy(**FAST)
+    d1 = backoff_delay(policy, "cell-x", 1)
+    assert d1 == backoff_delay(policy, "cell-x", 1)  # pure function
+    assert d1 != backoff_delay(policy, "cell-y", 1)  # per-task stream
+    assert (
+        d1 != backoff_delay(SupervisePolicy(seed=9, **FAST), "cell-x", 1)
+    )  # per-seed stream
+    for attempt in (1, 2, 3, 10):
+        cap = min(0.01 * 2.0 ** (attempt - 1), 0.05)
+        d = backoff_delay(policy, "cell-x", attempt)
+        assert cap / 2 <= d < cap
+    # the cap really clamps: huge attempt numbers stay under backoff_max_s
+    assert backoff_delay(policy, "cell-x", 50) < 0.05
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SupervisePolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        SupervisePolicy(heartbeat_s=0)
+    with pytest.raises(ValueError):
+        supervised_map(square, [1, 2], task_ids=["only-one"])

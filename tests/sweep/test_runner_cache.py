@@ -118,3 +118,88 @@ def test_parallel_matches_serial_bytes(tmp_path):
     # and the parallel run's cache warms a serial resume
     warm = run_sweep(spec, jobs=1, cache=SweepCache(tmp_path / "cache"))
     assert not warm.executed
+
+
+# ---------------------------------------------------------------------------
+# supervision: retry, quarantine, partial-result salvage
+# ---------------------------------------------------------------------------
+def test_supervised_run_without_failures_is_byte_identical():
+    from repro.supervise import SupervisePolicy
+
+    spec = _tiny_spec()
+    plain = run_sweep(spec, cache=None)
+    supervised = run_sweep(
+        spec, jobs=2, cache=None, supervise=SupervisePolicy(max_attempts=2)
+    )
+    assert not supervised.quarantined and not supervised.manifest
+    assert "failures" not in supervised.doc
+    assert dumps_result(supervised.doc) == dumps_result(plain.doc)
+
+
+def test_crash_is_retried_and_document_survives_intact(tmp_path):
+    from repro.supervise import SupervisePolicy
+
+    spec = _tiny_spec()
+    plain = run_sweep(spec, cache=None)
+    victim = spec.cells[0].id
+    policy = SupervisePolicy(
+        max_attempts=2,
+        backoff_base_s=0.01,
+        backoff_max_s=0.05,
+        chaos={victim: ("crash",)},
+    )
+    result = run_sweep(spec, jobs=2, cache=SweepCache(tmp_path / "c"), supervise=policy)
+    assert not result.quarantined
+    [rec] = result.manifest
+    assert rec["cell"] == victim and rec["outcome"] == "recovered"
+    assert "failures" not in result.doc  # recovered != failed
+    assert dumps_result(result.doc) == dumps_result(plain.doc)
+
+
+def test_quarantined_cell_is_salvaged_around(tmp_path):
+    from repro.supervise import SupervisePolicy
+
+    spec = _tiny_spec()
+    plain = run_sweep(spec, cache=None)
+    victim = spec.cells[0].id
+    survivor = spec.cells[1].id
+    policy = SupervisePolicy(
+        max_attempts=2,
+        backoff_base_s=0.01,
+        backoff_max_s=0.05,
+        chaos={victim: ("crash", "crash")},  # every attempt dies
+    )
+    cache = SweepCache(tmp_path / "c")
+    result = run_sweep(spec, jobs=2, cache=cache, supervise=policy)
+    assert result.quarantined == [victim]
+    assert result.executed == [survivor]
+    # the surviving cell merged byte-identically to the unfailed run's
+    [survived] = result.doc["cells"]
+    [reference] = [c for c in plain.doc["cells"] if c["id"] == survivor]
+    assert json.dumps(survived, sort_keys=True) == json.dumps(reference, sort_keys=True)
+    # the failure manifest is embedded, attempts and all
+    [failure] = result.doc["failures"]
+    assert failure["cell"] == victim and failure["outcome"] == "quarantined"
+    assert len(failure["attempts"]) == 2
+    # the survivor's cache entry is good: a chaos-free resume recomputes
+    # only the quarantined cell and reproduces the full document
+    healed = run_sweep(spec, cache=cache)
+    assert healed.executed == [victim] and healed.cached == [survivor]
+    assert dumps_result(healed.doc) == dumps_result(plain.doc)
+
+
+def test_corrupt_cache_entry_recovers_with_warning(tmp_path, caplog):
+    spec = _tiny_spec()
+    cache = SweepCache(tmp_path / "cache")
+    cold = run_sweep(spec, cache=cache)
+    digest = cold.doc["cells"][0]["digest"]
+    cache.path(digest).write_text("z" * 40)  # torn write / bad copy
+    with caplog.at_level("WARNING", logger="repro.sweep.cache"):
+        warm = run_sweep(spec, cache=cache)
+    assert len(warm.executed) == 1  # only the corrupted cell recomputed
+    assert dumps_result(warm.doc) == dumps_result(cold.doc)
+    [record] = caplog.records
+    assert digest in record.getMessage()  # the warning names the entry
+    # ... and the bad entry was overwritten on the way out
+    again = run_sweep(spec, cache=cache)
+    assert not again.executed

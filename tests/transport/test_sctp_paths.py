@@ -206,6 +206,62 @@ def test_fast_retransmit_strikes_are_hash_order_independent():
     assert first["frtx"] > 0  # the strike pass actually ran
 
 
+def _drive_failover(kernel, cluster, s0, s1, aid, bodies=6):
+    """Sever the primary subnet and push traffic until it fails over."""
+    cluster.fail_path(0)
+    sent = 0
+
+    async def sender():
+        nonlocal sent
+        while sent < bodies:
+            if s0.sendmsg(aid, 0, SyntheticBlob(2_000)):
+                sent += 1
+            else:
+                await kernel.sleep(5_000_000)
+
+    kernel.spawn(sender())
+    msgs = pump_messages(kernel, s1, bodies, limit_s=300)
+    assert len(msgs) == bodies
+
+
+def test_heartbeat_ack_resets_error_count_after_failover():
+    """RFC 4960 §8.3: a HEARTBEAT-ACK on a failed-over path clears its
+    error count and flips it back to ACTIVE — the error budget must not
+    stay spent once the path has proven itself again."""
+    kernel, cluster = make_cluster(n_hosts=2, n_paths=2)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=failover_config())
+    assoc = s0.association(aid)
+    _drive_failover(kernel, cluster, s0, s1, aid)
+    primary = assoc.paths["10.0.0.2"]
+    assert primary.state == INACTIVE and primary.error_count > 0
+    acks_before = assoc.stats.heartbeat_acks_received
+    cluster.restore_path(0)
+    kernel.run(until=kernel.now + 60 * SECOND)
+    assert assoc.stats.heartbeat_acks_received > acks_before
+    assert primary.error_count == 0
+    assert primary.state == ACTIVE
+
+
+def test_failback_to_primary_after_path_restore():
+    """Failback: once heartbeats reactivate the restored primary, data
+    selection prefers it over the alternate that carried the failover
+    traffic, and transfers complete on the failback path."""
+    kernel, cluster = make_cluster(n_hosts=2, n_paths=2)
+    s0, s1, aid = sctp_pair(kernel, cluster, config=failover_config())
+    assoc = s0.association(aid)
+    _drive_failover(kernel, cluster, s0, s1, aid)
+    assert assoc._active_path().addr == "10.1.0.2"  # data on the alternate
+    cluster.restore_path(0)
+    kernel.run(until=kernel.now + 60 * SECOND)
+    assert assoc.paths["10.0.0.2"].state == ACTIVE
+    assert assoc.primary_addr == "10.0.0.2"  # failover never moved primary
+    assert assoc._active_path().addr == "10.0.0.2"  # selection is back on it
+    for _ in range(4):
+        assert s0.sendmsg(aid, 0, SyntheticBlob(2_000))
+    msgs = pump_messages(kernel, s1, 4, limit_s=300)
+    assert len(msgs) == 4
+
+
 def test_heartbeats_probe_idle_paths():
     kernel, cluster = make_cluster(n_hosts=2, n_paths=2)
     cfg = SCTPConfig(heartbeat_interval_ns=1 * SECOND)
