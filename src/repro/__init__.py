@@ -33,7 +33,7 @@ from .core import (
 )
 from .util.blobs import ChunkList, RealBlob, SyntheticBlob
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ANY_SOURCE",

@@ -54,7 +54,12 @@ RULES: Dict[str, str] = {
     "AN103": "iteration over a set; order follows PYTHONHASHSEED",
     "AN104": "id() used for ordering; ids are allocation addresses",
     "AN105": "kernel heap internals touched outside simkernel/kernel.py",
+    "AN106": "unused suppression; the allow comment matches no finding",
 }
+
+#: rules the *lint* owns; ``allow`` entries for other families (the flow
+#: analyzer's AN2xx/AN3xx) are invisible here, so AN106 never judges them
+_LINT_RULE_PREFIX = "AN1"
 
 # AN101: time-module functions that read the host clock
 _WALL_CLOCK_TIME = {
@@ -334,15 +339,23 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+@dataclass(frozen=True)
+class _AllowComment:
+    """One parsed ``allow``/``allow-file`` comment, with its position."""
+
+    line: int
+    col: int  # 1-based, pointing at the comment token
+    file_wide: bool
+    rules: Tuple[str, ...]
+
+
+def _allow_comments(source: str) -> List[_AllowComment]:
     """Parse ``# repro: allow[...]`` comments via the token stream.
 
-    Returns (file-wide allowed rules, per-line allowed rules).  Using
-    tokenize rather than a line regex keeps us honest about what is a
-    comment versus a string literal containing one.
+    Using tokenize rather than a line regex keeps us honest about what
+    is a comment versus a string literal containing one.
     """
-    file_rules: Set[str] = set()
-    line_rules: Dict[int, Set[str]] = {}
+    comments: List[_AllowComment] = []
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for tok in tokens:
@@ -350,15 +363,46 @@ def _suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
                 continue
             match = _ALLOW_FILE.search(tok.string)
             if match:
-                file_rules.update(
-                    r.strip() for r in match.group(1).split(",") if r.strip()
+                comments.append(
+                    _AllowComment(
+                        line=tok.start[0],
+                        col=tok.start[1] + 1,
+                        file_wide=True,
+                        rules=tuple(
+                            r.strip()
+                            for r in match.group(1).split(",")
+                            if r.strip()
+                        ),
+                    )
                 )
             match = _ALLOW_LINE.search(tok.string)
             if match:
-                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
-                line_rules.setdefault(tok.start[0], set()).update(rules)
+                comments.append(
+                    _AllowComment(
+                        line=tok.start[0],
+                        col=tok.start[1] + 1,
+                        file_wide=False,
+                        rules=tuple(
+                            r.strip()
+                            for r in match.group(1).split(",")
+                            if r.strip()
+                        ),
+                    )
+                )
     except tokenize.TokenError:
         pass  # syntax problems surface via ast.parse instead
+    return comments
+
+
+def _suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """(file-wide allowed rules, per-line allowed rules) for *source*."""
+    file_rules: Set[str] = set()
+    line_rules: Dict[int, Set[str]] = {}
+    for comment in _allow_comments(source):
+        if comment.file_wide:
+            file_rules.update(comment.rules)
+        else:
+            line_rules.setdefault(comment.line, set()).update(comment.rules)
     return file_rules, line_rules
 
 
@@ -379,7 +423,39 @@ def lint_source(source: str, path: str) -> List[Finding]:
     normalized = path.replace("\\", "/")
     visitor = _Visitor(path, in_kernel_module=normalized.endswith("simkernel/kernel.py"))
     visitor.visit(tree)
+    comments = _allow_comments(source)
     file_rules, line_rules = _suppressions(source)
+
+    # AN106: an allow comment (or one rule inside it) that suppresses
+    # nothing is itself a defect — stale suppressions hide future bugs.
+    # Only rules the lint owns (AN1xx) are judged; allow comments for the
+    # flow analyzer's AN2xx/AN3xx findings are out of scope here.
+    raw = visitor.findings
+    for comment in comments:
+        for rule in comment.rules:
+            if not rule.startswith(_LINT_RULE_PREFIX) or rule == "AN106":
+                continue
+            if comment.file_wide:
+                used = any(f.rule == rule for f in raw)
+            else:
+                used = any(
+                    f.rule == rule and f.line == comment.line for f in raw
+                )
+            if not used:
+                scope = "allow-file" if comment.file_wide else "allow"
+                visitor.findings.append(
+                    Finding(
+                        path=path,
+                        line=comment.line,
+                        col=comment.col,
+                        rule="AN106",
+                        message=(
+                            f"unused suppression: {scope}[{rule}] matches no "
+                            f"{rule} finding; delete it"
+                        ),
+                    )
+                )
+
     return [
         f
         for f in visitor.findings
@@ -397,9 +473,11 @@ def lint_paths(paths: Sequence[str]) -> List[Finding]:
         else:
             files.append(p)
     findings: List[Finding] = []
-    for f in files:
+    for f in dict.fromkeys(files):  # dedupe overlapping path arguments
         findings.extend(lint_source(f.read_text(encoding="utf-8"), str(f)))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    # deterministic report order regardless of argument or walk order:
+    # (path, line, rule) is the contract, col only breaks residual ties
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
     return findings
 
 
@@ -430,6 +508,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help=(
+            "print a removal listing for unused allow comments (AN106) "
+            "instead of failing on them"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -438,6 +524,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     findings = lint_paths(args.paths or ["src/repro"])
+    if args.fix:
+        stale = [f for f in findings if f.rule == "AN106"]
+        findings = [f for f in findings if f.rule != "AN106"]
+        for finding in stale:
+            print(f"fix: {finding.path}:{finding.line}: {finding.message}")
     if args.json:
         text = report_json(findings)
         if args.json == "-":

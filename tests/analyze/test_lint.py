@@ -96,9 +96,10 @@ def test_kernel_internals_flagged_outside_kernel_module():
 def test_line_suppression():
     src = "import time\nt = time.time()  # repro: allow[AN101]\n"
     assert lint_source(src, "x.py") == []
-    # suppressing a different rule does not hide the finding
+    # suppressing a different rule hides nothing — and the pointless
+    # suppression is itself flagged (AN106)
     other = "import time\nt = time.time()  # repro: allow[AN103]\n"
-    assert rules_of(lint_source(other, "x.py")) == ["AN101"]
+    assert rules_of(lint_source(other, "x.py")) == ["AN101", "AN106"]
 
 
 def test_file_suppression():
@@ -109,6 +110,103 @@ def test_file_suppression():
         "b = time.monotonic()\n"
     )
     assert lint_source(src, "x.py") == []
+
+
+def test_unused_line_suppression_flagged():
+    src = "x = 1  # repro: allow[AN101]\n"
+    [f] = lint_source(src, "x.py")
+    assert f.rule == "AN106" and f.line == 1
+    assert "allow[AN101]" in f.message
+
+
+def test_unused_file_suppression_flagged():
+    src = "# repro: allow-file[AN102]\nx = 1\n"
+    [f] = lint_source(src, "x.py")
+    assert f.rule == "AN106" and "allow-file[AN102]" in f.message
+
+
+def test_partially_used_suppression_flags_only_the_dead_rule():
+    src = "import time\nt = time.time()  # repro: allow[AN101,AN104]\n"
+    [f] = lint_source(src, "x.py")
+    assert f.rule == "AN106" and "AN104" in f.message
+
+
+def test_used_suppressions_are_not_flagged():
+    src = (
+        "# repro: allow-file[AN103]\n"
+        "import time\n"
+        "t = time.time()  # repro: allow[AN101]\n"
+        "for x in {1, 2}:\n"
+        "    print(x)\n"
+    )
+    assert lint_source(src, "x.py") == []
+
+
+def test_flow_rule_suppressions_are_out_of_lint_scope():
+    """allow[AN2xx/AN3xx] belongs to the flow analyzer; the lint must
+    neither honour nor judge it."""
+    src = "import time\nt = time.time()  # repro: allow[AN201]\n"
+    assert rules_of(lint_source(src, "x.py")) == ["AN101"]
+
+
+def test_an106_is_itself_suppressible():
+    src = "x = 1  # repro: allow[AN101,AN106]\n"
+    assert lint_source(src, "x.py") == []
+
+
+def test_fix_listing_cli(capsys):
+    import textwrap
+
+    from repro.analyze.lint import main
+
+    def run(tmp, args):
+        return main([str(tmp), *args])
+
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(tmp) / "mod.py"
+        target.write_text(
+            textwrap.dedent(
+                """\
+                x = 1  # repro: allow[AN101]
+                """
+            )
+        )
+        # without --fix the stale comment fails the lint
+        assert run(target, []) == 1
+        capsys.readouterr()
+        # with --fix it becomes a removal listing and the exit is clean
+        assert run(target, ["--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "fix:" in out and "allow[AN101]" in out
+
+
+def test_findings_order_is_independent_of_input_order(tmp_path):
+    """Satellite: (path, line, rule) report order regardless of walk or
+    argument order — the analyzer must satisfy its own determinism bar."""
+    import random as stdlib_random
+
+    sources = {
+        "b.py": "import time\nx = time.time()\ny = time.monotonic()\n",
+        "a.py": "import random\nz = random.random()\n",
+        "c.py": "for v in {1, 2}:\n    print(v)\n",
+    }
+    for name, text in sources.items():
+        (tmp_path / name).write_text(text)
+    files = [str(tmp_path / name) for name in sources]
+
+    rng = stdlib_random.Random(7)
+    baseline = lint_paths(files)
+    keys = [(f.path, f.line, f.rule) for f in baseline]
+    assert keys == sorted(keys)
+    for _ in range(5):
+        shuffled = files[:]
+        rng.shuffle(shuffled)
+        assert lint_paths(shuffled) == baseline
+    # overlapping arguments (dir + file inside it) must not duplicate
+    assert lint_paths([str(tmp_path), files[0]]) == baseline
 
 
 def test_report_json_schema():

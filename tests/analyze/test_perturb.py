@@ -97,6 +97,55 @@ def test_filter_schedule_sensitive():
     }
 
 
+def test_filter_handles_nested_keys_matching_infixes():
+    """Satellite edge case: the occupancy infix must match at any depth
+    of the metric name, not just the shapes the smoke worlds emit."""
+    snapshot = {
+        # deeply nested link under pod/core tiers, histogram bucket
+        "net.pod1.core0.link.sw3->sw9.queue_occupancy_bytes/le_9000": 4,
+        # ... and the aggregate fields of the same histogram
+        "net.pod1.core0.link.sw3->sw9.queue_occupancy_bytes/count": 11,
+        # an infix-free cousin on the same link must survive
+        "net.pod1.core0.link.sw3->sw9.tx_bytes": 77,
+        # the infix as a *suffix-less* fragment inside a key still matches
+        "x.queue_occupancy_bytes/sum.shadow": 1,
+    }
+    kept = filter_schedule_sensitive(snapshot)
+    assert kept == {"net.pod1.core0.link.sw3->sw9.tx_bytes": 77}
+
+
+def test_filter_and_digest_of_empty_snapshot():
+    """Satellite edge case: empty digest sets must behave, not crash."""
+    assert filter_schedule_sensitive({}) == {}
+    # an all-filtered snapshot digests like an empty one...
+    only_sensitive = {"kernel.timer_heap_depth.p99": 5}
+    assert digest_payload(filter_schedule_sensitive(only_sensitive)) == (
+        digest_payload({})
+    )
+    # ...and a result with no perturbed modes is vacuously deterministic
+    res = PerturbResult(label="empty", digests={"fifo": digest_payload({})})
+    assert res.deterministic and res.divergent_modes == []
+
+
+def test_filter_must_not_mask_a_planted_schedule_sensitive_leak():
+    """Satellite edge case: a racy value smuggled into a *non*-filtered
+    metric name must still trip the detector — the filter only exempts
+    the documented depth/occupancy observability metrics."""
+
+    def leaky_scenario():
+        kernel = Kernel(seed=1)
+        order = []
+        for i in range(4):
+            kernel.call_at(1_000, order.append, i)
+        kernel.run()
+        # the leak: tie-break order laundered into an innocent-looking key
+        return {"tcp.first_segment_owner": order[0]}
+
+    res = perturb_run(leaky_scenario, modes=("lifo", "shuffle:3"), label="leak")
+    assert not res.deterministic
+    assert "lifo" in res.divergent_modes
+
+
 def test_perturb_result_reporting():
     res = PerturbResult(label="x", digests={"fifo": "aa", "lifo": "bb"})
     assert not res.deterministic
